@@ -1,0 +1,463 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (SC'17, §5) plus the ablations DESIGN.md calls out.
+
+   - Figures 6-9: weak-scaling sweeps for Stencil, MiniAero, PENNANT and
+     Circuit — Regent with and without control replication on the machine
+     simulator, plus the reference step-time models — printed as the same
+     series the paper plots (throughput per node vs. nodes).
+   - Table 1: shallow and complete dynamic intersection times at 64 and
+     1024 nodes, measured on this machine.
+   - Ablations: §3.2 copy placement, §3.3 intersection optimization, §3.4
+     barrier vs point-to-point synchronisation, §4.5 hierarchical region
+     trees.
+   - A Bechamel microbenchmark suite with one test per figure/table.
+
+   Pass --fast to sweep fewer node counts, --no-bechamel to skip the
+   microbenchmarks. *)
+
+let fast = Array.exists (( = ) "--fast") Sys.argv
+let no_bechamel = Array.exists (( = ) "--no-bechamel") Sys.argv
+
+let node_counts =
+  if fast then [ 1; 4; 16; 64 ]
+  else [ 1; 2; 4; 8; 16; 32; 64; 128; 256; 512; 1024 ]
+
+let table1_nodes = if fast then [ 16; 64 ] else [ 64; 1024 ]
+
+let header title = Printf.printf "\n=== %s ===\n%!" title
+
+(* ---------- weak scaling sweeps (Figures 6-9) ---------- *)
+
+type variant = { vname : string; per_step : int -> float }
+
+let print_figure ~title ~unit_ ~elements_per_node variants =
+  header title;
+  Printf.printf "%6s" "nodes";
+  List.iter (fun v -> Printf.printf " %14s" v.vname) variants;
+  Printf.printf "   (%s per node)\n" unit_;
+  let singles = List.map (fun v -> v.per_step 1) variants in
+  List.iter
+    (fun n ->
+      Printf.printf "%6d" n;
+      List.iter
+        (fun v -> Printf.printf " %14.1f" (elements_per_node /. v.per_step n))
+        variants;
+      Printf.printf "\n%!")
+    node_counts;
+  (* Parallel efficiency at the largest sweep point, as the paper quotes. *)
+  let last = List.fold_left max 1 node_counts in
+  Printf.printf "%6s" "eff%";
+  List.iter2
+    (fun v single ->
+      Printf.printf " %14.1f" (100. *. single /. v.per_step last))
+    variants singles;
+  Printf.printf "   (at %d nodes)\n%!" last
+
+let cr_per_step ~mk_program ~mk_scale ?task_noise () n =
+  let machine = Realm.Machine.make ~nodes:n ?task_noise () in
+  let prog = mk_program n in
+  let compiled = Cr.Pipeline.compile (Cr.Pipeline.default ~shards:n) prog in
+  (Legion.Sim_spmd.simulate ~machine ~scale:(mk_scale n) ~steps:8 compiled)
+    .Legion.Sim_spmd.per_step
+
+let nocr_per_step ~mk_program ~mk_scale ?task_noise () n =
+  let machine = Realm.Machine.make ~nodes:n ?task_noise () in
+  let prog = mk_program n in
+  (Legion.Sim_implicit.simulate ~machine ~scale:(mk_scale n) ~steps:6 prog)
+    .Legion.Sim_implicit.per_step
+
+let fig6 () =
+  let mk_program n = Apps.Stencil.program (Apps.Stencil.default ~nodes:n) in
+  let mk_scale n = Apps.Stencil.scale (Apps.Stencil.default ~nodes:n) in
+  let reference variant n =
+    Apps.Stencil.Reference.per_step
+      (Realm.Machine.make ~nodes:n ())
+      (Apps.Stencil.default ~nodes:n)
+      variant
+  in
+  print_figure ~title:"Figure 6: Stencil weak scaling" ~unit_:"10^6 points/s"
+    ~elements_per_node:
+      (float_of_int (Apps.Stencil.default ~nodes:1).Apps.Stencil.points_per_node
+      /. 1e6)
+    [
+      { vname = "Regent+CR"; per_step = cr_per_step ~mk_program ~mk_scale () };
+      { vname = "Regent-noCR"; per_step = nocr_per_step ~mk_program ~mk_scale () };
+      { vname = "MPI"; per_step = reference Apps.Stencil.Reference.Mpi };
+      {
+        vname = "MPI+OpenMP";
+        per_step = reference Apps.Stencil.Reference.Mpi_openmp;
+      };
+    ]
+
+let fig7 () =
+  let mk_program n = Apps.Miniaero.program (Apps.Miniaero.sim_config ~nodes:n) in
+  let mk_scale n = Apps.Miniaero.scale (Apps.Miniaero.sim_config ~nodes:n) in
+  let full = Apps.Miniaero.default ~nodes:1 in
+  let x, y, z = full.Apps.Miniaero.piece_cells in
+  let cells_per_node = full.Apps.Miniaero.pieces_per_node * x * y * z in
+  let reference variant n =
+    Apps.Miniaero.Reference.per_step
+      (Realm.Machine.make ~nodes:n ())
+      (Apps.Miniaero.default ~nodes:n)
+      variant
+  in
+  print_figure ~title:"Figure 7: MiniAero weak scaling" ~unit_:"10^3 cells/s"
+    ~elements_per_node:(float_of_int cells_per_node /. 1e3)
+    [
+      { vname = "Regent+CR"; per_step = cr_per_step ~mk_program ~mk_scale () };
+      { vname = "Regent-noCR"; per_step = nocr_per_step ~mk_program ~mk_scale () };
+      {
+        vname = "MPI+K(core)";
+        per_step = reference Apps.Miniaero.Reference.Rank_per_core;
+      };
+      {
+        vname = "MPI+K(node)";
+        per_step = reference Apps.Miniaero.Reference.Rank_per_node;
+      };
+    ]
+
+let fig8 () =
+  let mk_program n = Apps.Pennant.program (Apps.Pennant.sim_config ~nodes:n) in
+  let mk_scale n = Apps.Pennant.scale (Apps.Pennant.sim_config ~nodes:n) in
+  let noise = Apps.Pennant.task_noise in
+  let full = Apps.Pennant.default ~nodes:1 in
+  let zx, zy = full.Apps.Pennant.piece_zones in
+  let zones_per_node = full.Apps.Pennant.pieces_per_node * zx * zy in
+  let reference variant n =
+    Apps.Pennant.Reference.per_step
+      (Realm.Machine.make ~nodes:n ~task_noise:noise ())
+      (Apps.Pennant.default ~nodes:n)
+      variant
+  in
+  print_figure ~title:"Figure 8: PENNANT weak scaling" ~unit_:"10^6 zones/s"
+    ~elements_per_node:(float_of_int zones_per_node /. 1e6)
+    [
+      {
+        vname = "Regent+CR";
+        per_step = cr_per_step ~mk_program ~mk_scale ~task_noise:noise ();
+      };
+      {
+        vname = "Regent-noCR";
+        per_step = nocr_per_step ~mk_program ~mk_scale ~task_noise:noise ();
+      };
+      { vname = "MPI"; per_step = reference Apps.Pennant.Reference.Mpi };
+      {
+        vname = "MPI+OpenMP";
+        per_step = reference Apps.Pennant.Reference.Mpi_openmp;
+      };
+    ]
+
+let fig9 () =
+  let mk_program n = Apps.Circuit.program (Apps.Circuit.sim_config ~nodes:n) in
+  let mk_scale n = Apps.Circuit.scale (Apps.Circuit.sim_config ~nodes:n) in
+  let full = Apps.Circuit.default ~nodes:1 in
+  let cnodes_per_node =
+    full.Apps.Circuit.pieces_per_node * full.Apps.Circuit.cnodes_per_piece
+  in
+  print_figure ~title:"Figure 9: Circuit weak scaling"
+    ~unit_:"10^3 circuit nodes/s"
+    ~elements_per_node:(float_of_int cnodes_per_node /. 1e3)
+    [
+      { vname = "Regent+CR"; per_step = cr_per_step ~mk_program ~mk_scale () };
+      { vname = "Regent-noCR"; per_step = nocr_per_step ~mk_program ~mk_scale () };
+    ]
+
+(* ---------- Table 1: dynamic intersection times ---------- *)
+
+(* Run the dynamic analysis for every sparse copy of the compiled program,
+   accumulating shallow and complete times (§3.3). *)
+let measure_intersections prog shards =
+  let compiled = Cr.Pipeline.compile (Cr.Pipeline.default ~shards) prog in
+  let stats = Spmd.Intersections.fresh_stats () in
+  List.iter
+    (function
+      | Spmd.Prog.Replicated b ->
+          List.iter
+            (fun (c : Spmd.Prog.copy) ->
+              match (c.Spmd.Prog.src, c.Spmd.Prog.dst) with
+              | Spmd.Prog.Opart ps, Spmd.Prog.Opart pd ->
+                  ignore
+                    (Spmd.Intersections.compute ~stats
+                       ~src:
+                         (Ir.Program.find_partition compiled.Spmd.Prog.source ps)
+                       ~dst:
+                         (Ir.Program.find_partition compiled.Spmd.Prog.source pd)
+                       ())
+              | _ -> ())
+            b.Spmd.Prog.copies
+      | Spmd.Prog.Seq _ -> ())
+    compiled.Spmd.Prog.items;
+  stats
+
+let table1 () =
+  header "Table 1: dynamic region intersection times";
+  Printf.printf "%10s %6s %12s %12s %12s %12s\n" "app" "nodes" "shallow(ms)"
+    "complete(ms)" "candidates" "non-empty";
+  let apps =
+    [
+      ( "Circuit",
+        fun n -> Apps.Circuit.program (Apps.Circuit.sim_config ~nodes:n) );
+      ( "MiniAero",
+        fun n -> Apps.Miniaero.program (Apps.Miniaero.sim_config ~nodes:n) );
+      ( "PENNANT",
+        fun n -> Apps.Pennant.program (Apps.Pennant.sim_config ~nodes:n) );
+      ("Stencil", fun n -> Apps.Stencil.program (Apps.Stencil.default ~nodes:n));
+    ]
+  in
+  List.iter
+    (fun (name, mk) ->
+      List.iter
+        (fun n ->
+          let stats = measure_intersections (mk n) n in
+          Printf.printf "%10s %6d %12.2f %12.2f %12d %12d\n%!" name n
+            (stats.Spmd.Intersections.shallow_s *. 1e3)
+            (stats.Spmd.Intersections.complete_s *. 1e3)
+            stats.Spmd.Intersections.candidates
+            stats.Spmd.Intersections.nonempty)
+        table1_nodes)
+    apps
+
+(* ---------- ablations ---------- *)
+
+(* Dynamic-analysis cost of one configuration: (seconds, candidate pairs,
+   pair-set computations). *)
+let measure_intersections_with config prog =
+  let compiled = Cr.Pipeline.compile config prog in
+  let stats = Spmd.Intersections.fresh_stats () in
+  let sets = ref 0 in
+  List.iter
+    (function
+      | Spmd.Prog.Replicated b ->
+          List.iter
+            (fun (c : Spmd.Prog.copy) ->
+              match (c.Spmd.Prog.src, c.Spmd.Prog.dst) with
+              | Spmd.Prog.Opart ps, Spmd.Prog.Opart pd ->
+                  incr sets;
+                  ignore
+                    (Spmd.Intersections.compute ~stats
+                       ~src:(Ir.Program.find_partition compiled.Spmd.Prog.source ps)
+                       ~dst:(Ir.Program.find_partition compiled.Spmd.Prog.source pd)
+                       ())
+              | _ -> ())
+            b.Spmd.Prog.copies
+      | Spmd.Prog.Seq _ -> ())
+    compiled.Spmd.Prog.items;
+  ( stats.Spmd.Intersections.shallow_s +. stats.Spmd.Intersections.complete_s,
+    stats.Spmd.Intersections.candidates,
+    !sets )
+
+(* A three-phase update chain: each phase rewrites the same partition; only
+   the last value is read through the aliased halo, so the first two
+   write-propagation copies are redundant — the §3.2 pattern. *)
+let placement_chain_program ~pieces =
+  let open Regions in
+  let open Ir in
+  let module Syn = Program.Syntax in
+  let fv = Field.make "v" in
+  let n = pieces * 4 in
+  let b = Program.Builder.create ~name:"chain" in
+  let r1 = Program.Builder.region b ~name:"R1" (Index_space.of_range n) [ fv ] in
+  let r2 = Program.Builder.region b ~name:"R2" (Index_space.of_range n) [ fv ] in
+  let p =
+    Program.Builder.partition b ~name:"P" (fun ~name ->
+        Partition.block ~name r1 ~pieces)
+  in
+  let _q =
+    Program.Builder.partition b ~name:"Q" (fun ~name ->
+        Partition.image ~name ~target:r1 ~src:p (fun e -> [ (e + 1) mod n ]))
+  in
+  let _s =
+    Program.Builder.partition b ~name:"S" (fun ~name ->
+        Partition.block ~name r2 ~pieces)
+  in
+  Program.Builder.space b ~name:"I" pieces;
+  let phase name delta =
+    Task.make ~name
+      ~params:[ { Task.pname = "out"; privs = [ Privilege.writes fv ] } ]
+      (fun accs _ ->
+        Accessor.iter accs.(0) (fun i ->
+            Accessor.set accs.(0) fv i (Accessor.get accs.(0) fv i +. delta));
+        0.)
+  in
+  let consume =
+    Task.make ~name:"consume"
+      ~params:
+        [
+          { Task.pname = "out"; privs = [ Privilege.writes fv ] };
+          { Task.pname = "inp"; privs = [ Privilege.reads fv ] };
+        ]
+      (fun accs _ ->
+        Accessor.iter accs.(0) (fun i ->
+            Accessor.set accs.(0) fv i
+              (Accessor.get accs.(1) fv ((i + 1) mod n) *. 0.5));
+        0.)
+  in
+  List.iter (Program.Builder.task b)
+    [ phase "phase1" 1.; phase "phase2" 2.; phase "phase3" 3.; consume ];
+  Program.Builder.body b
+    [
+      Syn.for_time "t" 2
+        [
+          Syn.forall "I" (Syn.call "phase1" [ Syn.part "P" ]);
+          Syn.forall "I" (Syn.call "phase2" [ Syn.part "P" ]);
+          Syn.forall "I" (Syn.call "phase3" [ Syn.part "P" ]);
+          Syn.forall "I" (Syn.call "consume" [ Syn.part "S"; Syn.part "Q" ]);
+        ];
+    ];
+  Program.Builder.finish b
+
+let simulate_with config ~scale n prog =
+  let machine = Realm.Machine.make ~nodes:n () in
+  let compiled = Cr.Pipeline.compile config prog in
+  Legion.Sim_spmd.simulate ~machine ~scale ~steps:8 compiled
+
+let ablations () =
+  header "Ablations (simulated per-step seconds at 64 nodes)";
+  let n = 64 in
+  let cases =
+    [
+      ( "Stencil",
+        (fun () -> Apps.Stencil.program (Apps.Stencil.default ~nodes:n)),
+        Apps.Stencil.scale (Apps.Stencil.default ~nodes:n) );
+      ( "Circuit",
+        (fun () -> Apps.Circuit.program (Apps.Circuit.sim_config ~nodes:n)),
+        Apps.Circuit.scale (Apps.Circuit.sim_config ~nodes:n) );
+      ( "MiniAero",
+        (fun () -> Apps.Miniaero.program (Apps.Miniaero.sim_config ~nodes:n)),
+        Apps.Miniaero.scale (Apps.Miniaero.sim_config ~nodes:n) );
+    ]
+  in
+  Printf.printf "%10s %12s %12s %12s %12s %12s\n" "app" "default" "barriers"
+    "all-pairs" "no-placemt" "flat-tree";
+  List.iter
+    (fun (name, mk, scale) ->
+      let d = Cr.Pipeline.default ~shards:n in
+      let run config =
+        (simulate_with config ~scale n (mk ())).Legion.Sim_spmd.per_step
+      in
+      Printf.printf "%10s %12.4f %12.4f %12.4f %12.4f %12.4f\n%!" name (run d)
+        (run { d with Cr.Pipeline.sync = `Barrier })
+        (run { d with Cr.Pipeline.intersections = `Dense })
+        (run { d with Cr.Pipeline.placement = false })
+        (run { d with Cr.Pipeline.hierarchical = false }))
+    cases;
+  (* The §4.5 benefit is in the dynamic analysis, not the executed copies:
+     a flat tree cannot prove the private partitions disjoint from the
+     ghosts, so the runtime computes intersections for partition pairs that
+     never exchange data. *)
+  Printf.printf
+    "\n%10s | %10s %10s %12s | %10s %10s %12s   (dynamic intersections)\n"
+    "app" "pairsets" "candidates" "analysis(ms)" "pairsets" "candidates"
+    "analysis(ms)";
+  Printf.printf "%10s | %36s | %36s\n" "" "hierarchical (default)"
+    "flat tree (no §4.5)";
+  List.iter
+    (fun (name, mk, _scale) ->
+      let d = Cr.Pipeline.default ~shards:n in
+      let measure config =
+        let prog = mk () in
+        let stats = measure_intersections_with config prog in
+        stats
+      in
+      let h = measure d
+      and f = measure { d with Cr.Pipeline.hierarchical = false } in
+      let ms (a, _, _) = a *. 1e3
+      and cand (_, c, _) = c
+      and sets (_, _, s) = s in
+      Printf.printf "%10s | %10d %10d %12.2f | %10d %10d %12.2f\n%!" name
+        (sets h) (cand h) (ms h) (sets f) (cand f) (ms f))
+    cases;
+  (* §3.2 copy placement: the four applications write each partition once
+     per aliased-reader use, so placement is already optimal there (as the
+     paper notes for Fig. 4a); a multi-phase update chain shows the
+     optimization at work. *)
+  let chain = placement_chain_program ~pieces:(n * 4) in
+  let copies config =
+    let compiled = Cr.Pipeline.compile config chain in
+    List.fold_left
+      (fun acc -> function
+        | Spmd.Prog.Replicated b ->
+            let rec count = function
+              | [] -> 0
+              | Spmd.Prog.For_time { body; _ } :: rest -> count body + count rest
+              | Spmd.Prog.Copy _ :: rest -> 1 + count rest
+              | _ :: rest -> count rest
+            in
+            acc + count b.Spmd.Prog.body
+        | Spmd.Prog.Seq _ -> acc)
+      0 compiled.Spmd.Prog.items
+  in
+  let d = Cr.Pipeline.default ~shards:n in
+  Printf.printf
+    "\nplacement ablation (3-phase update chain): %d copy statements per step with placement, %d without\n%!"
+    (copies d)
+    (copies { d with Cr.Pipeline.placement = false })
+
+(* ---------- Bechamel microbenchmarks ---------- *)
+
+let bechamel_suite () =
+  let open Bechamel in
+  let open Toolkit in
+  header "Bechamel microbenchmarks (one per figure/table)";
+  let stencil16 = Apps.Stencil.program (Apps.Stencil.default ~nodes:16) in
+  let circuit16 = Apps.Circuit.program (Apps.Circuit.sim_config ~nodes:16) in
+  let aero4 = Apps.Miniaero.program (Apps.Miniaero.sim_config ~nodes:4) in
+  let pennant16 = Apps.Pennant.program (Apps.Pennant.sim_config ~nodes:16) in
+  let compiled16 = Cr.Pipeline.compile (Cr.Pipeline.default ~shards:16) stencil16 in
+  let machine16 = Realm.Machine.make ~nodes:16 () in
+  let circuit_src =
+    (Cr.Pipeline.compile (Cr.Pipeline.default ~shards:16) circuit16)
+      .Spmd.Prog.source
+  in
+  let shr = Ir.Program.find_partition circuit_src "shr"
+  and ghost = Ir.Program.find_partition circuit_src "ghost" in
+  let tests =
+    [
+      Test.make ~name:"fig6:stencil-cr-sim-16nodes"
+        (Staged.stage (fun () ->
+             Legion.Sim_spmd.simulate ~machine:machine16 ~steps:4 compiled16));
+      Test.make ~name:"fig7:miniaero-compile-4nodes"
+        (Staged.stage (fun () ->
+             Cr.Pipeline.compile (Cr.Pipeline.default ~shards:4) aero4));
+      Test.make ~name:"fig8:pennant-compile-16nodes"
+        (Staged.stage (fun () ->
+             Cr.Pipeline.compile (Cr.Pipeline.default ~shards:16) pennant16));
+      Test.make ~name:"fig9:circuit-compile-16nodes"
+        (Staged.stage (fun () ->
+             Cr.Pipeline.compile (Cr.Pipeline.default ~shards:16) circuit16));
+      Test.make ~name:"table1:circuit-intersections"
+        (Staged.stage (fun () -> Spmd.Intersections.compute ~src:shr ~dst:ghost ()));
+      Test.make ~name:"table1:circuit-all-pairs"
+        (Staged.stage (fun () ->
+             Spmd.Intersections.compute_all_pairs ~src:shr ~dst:ghost ()));
+    ]
+  in
+  let benchmark test =
+    let ols =
+      Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+    in
+    let instances = Instance.[ monotonic_clock ] in
+    let cfg =
+      Benchmark.cfg ~limit:50 ~quota:(Time.second 0.5) ~stabilize:false ()
+    in
+    let raw = Benchmark.all cfg instances test in
+    let results = Analyze.all ols Instance.monotonic_clock raw in
+    Hashtbl.iter
+      (fun name ols_result ->
+        match Analyze.OLS.estimates ols_result with
+        | Some [ est ] ->
+            Printf.printf "%40s  %12.3f ms/run\n%!" name (est /. 1e6)
+        | _ -> Printf.printf "%40s  (no estimate)\n%!" name)
+      results
+  in
+  benchmark (Test.make_grouped ~name:"bench" tests)
+
+let () =
+  fig6 ();
+  fig7 ();
+  fig8 ();
+  fig9 ();
+  table1 ();
+  ablations ();
+  if not no_bechamel then bechamel_suite ();
+  Printf.printf "\nAll experiments complete.\n"

@@ -1,0 +1,274 @@
+(* crc — the control replication compiler driver.
+
+   Subcommands:
+     inspect   print an application's implicit program and its compiled
+               SPMD form
+     run       execute an application functionally (sequential and
+               control-replicated) and compare results
+     simulate  estimate per-timestep cost on a simulated machine
+     sweep     weak-scaling series for one application (Figures 6-9)
+     table1    dynamic intersection timings (Table 1) *)
+
+open Cmdliner
+
+type app = Stencil | Miniaero | Pennant | Circuit
+
+let app_conv =
+  let parse = function
+    | "stencil" -> Ok Stencil
+    | "miniaero" -> Ok Miniaero
+    | "pennant" -> Ok Pennant
+    | "circuit" -> Ok Circuit
+    | s -> Error (`Msg (Printf.sprintf "unknown application %S" s))
+  in
+  let print ppf a =
+    Format.pp_print_string ppf
+      (match a with
+      | Stencil -> "stencil"
+      | Miniaero -> "miniaero"
+      | Pennant -> "pennant"
+      | Circuit -> "circuit")
+  in
+  Arg.conv (parse, print)
+
+let app_arg =
+  Arg.(
+    required
+    & pos 0 (some app_conv) None
+    & info [] ~docv:"APP" ~doc:"Application: stencil, miniaero, pennant or circuit.")
+
+let nodes_arg =
+  Arg.(value & opt int 4 & info [ "nodes"; "n" ] ~docv:"N" ~doc:"Machine nodes.")
+
+let shards_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "shards" ] ~docv:"S" ~doc:"Shard count (defaults to nodes).")
+
+(* Small (functional) and simulator-scale program constructors. *)
+let test_program app nodes =
+  match app with
+  | Stencil -> Apps.Stencil.program (Apps.Stencil.test_config ~nodes)
+  | Miniaero -> Apps.Miniaero.program (Apps.Miniaero.test_config ~nodes)
+  | Pennant -> Apps.Pennant.program (Apps.Pennant.test_config ~nodes)
+  | Circuit -> Apps.Circuit.program (Apps.Circuit.test_config ~nodes)
+
+let sim_program app nodes =
+  match app with
+  | Stencil ->
+      let cfg = Apps.Stencil.default ~nodes in
+      (Apps.Stencil.program cfg, Apps.Stencil.scale cfg, 0.)
+  | Miniaero ->
+      let cfg = Apps.Miniaero.sim_config ~nodes in
+      (Apps.Miniaero.program cfg, Apps.Miniaero.scale cfg, 0.)
+  | Pennant ->
+      let cfg = Apps.Pennant.sim_config ~nodes in
+      (Apps.Pennant.program cfg, Apps.Pennant.scale cfg, Apps.Pennant.task_noise)
+  | Circuit ->
+      let cfg = Apps.Circuit.sim_config ~nodes in
+      (Apps.Circuit.program cfg, Apps.Circuit.scale cfg, 0.)
+
+let elements_per_node app =
+  match app with
+  | Stencil ->
+      (float_of_int (Apps.Stencil.default ~nodes:1).Apps.Stencil.points_per_node, "points")
+  | Miniaero ->
+      let c = Apps.Miniaero.default ~nodes:1 in
+      let x, y, z = c.Apps.Miniaero.piece_cells in
+      (float_of_int (c.Apps.Miniaero.pieces_per_node * x * y * z), "cells")
+  | Pennant ->
+      let c = Apps.Pennant.default ~nodes:1 in
+      let x, y = c.Apps.Pennant.piece_zones in
+      (float_of_int (c.Apps.Pennant.pieces_per_node * x * y), "zones")
+  | Circuit ->
+      let c = Apps.Circuit.default ~nodes:1 in
+      ( float_of_int (c.Apps.Circuit.pieces_per_node * c.Apps.Circuit.cnodes_per_piece),
+        "circuit nodes" )
+
+(* ---------- inspect ---------- *)
+
+let inspect app nodes shards stages =
+  let shards = Option.value ~default:nodes shards in
+  let prog = test_program app nodes in
+  print_endline "==== implicit program ====";
+  print_endline (Ir.Pretty.program_to_string prog);
+  if stages then begin
+    (* The Fig. 4 transformation stages, block by block. *)
+    let staged =
+      Cr.Pipeline.stage_blocks (Cr.Pipeline.default ~shards) (test_program app nodes)
+    in
+    List.iteri
+      (fun k (st : Cr.Pipeline.staged) ->
+        Format.printf "@.==== block %d: after data replication (Fig. 4a) ====@." k;
+        Format.printf "@[<v>%a@]@." Spmd.Prog.pp_instrs st.Cr.Pipeline.replicated;
+        Format.printf "@.==== block %d: after copy placement ====@." k;
+        Format.printf "@[<v>%a@]@." Spmd.Prog.pp_instrs st.Cr.Pipeline.placed;
+        Format.printf "@.==== block %d: after synchronization insertion ====@." k;
+        Format.printf "@[<v>%a@]@." Spmd.Prog.pp_instrs st.Cr.Pipeline.synced)
+      staged
+  end;
+  let compiled = Cr.Pipeline.compile (Cr.Pipeline.default ~shards) prog in
+  print_endline "\n==== control-replicated (SPMD) program ====";
+  print_endline (Spmd.Prog.to_string compiled)
+
+(* ---------- run ---------- *)
+
+let run app nodes shards seed =
+  let shards = Option.value ~default:nodes shards in
+  let p1 = test_program app nodes in
+  let seq = Interp.Run.create p1 in
+  Interp.Run.run seq;
+  let p2 = test_program app nodes in
+  let compiled = Cr.Pipeline.compile (Cr.Pipeline.default ~shards) p2 in
+  let spmd = Interp.Run.create compiled.Spmd.Prog.source in
+  Spmd.Exec.run ~sched:(`Random seed) compiled spmd;
+  let data ctx prog =
+    List.concat_map
+      (fun rname ->
+        let r = Ir.Program.find_region prog rname in
+        let inst = Interp.Run.region_instance ctx r in
+        List.map
+          (fun f -> (rname, Regions.Field.name f, Regions.Physical.to_alist inst f))
+          r.Regions.Region.fields)
+      (Ir.Program.region_names prog)
+  in
+  let equal = data seq p1 = data spmd p2 in
+  Printf.printf "functional run with %d shards (random schedule %d)\n" shards seed;
+  Printf.printf "sequential == control-replicated: %b\n" equal;
+  (match app with
+  | Circuit ->
+      Printf.printf "total charge: %.12f\n" (Apps.Circuit.total_node_charge spmd p2)
+  | Miniaero ->
+      Printf.printf "total mass: %.12f\n" (Apps.Miniaero.total_mass spmd p2)
+  | Pennant ->
+      let mx, my = Apps.Pennant.total_momentum spmd p2 in
+      Printf.printf "momentum: (%.3e, %.3e), dt: %.8f\n" mx my
+        (Interp.Run.scalar spmd "dt")
+  | Stencil ->
+      Printf.printf "checksum: %.3f\n" (Apps.Stencil.interior_checksum spmd p2));
+  if not equal then exit 1
+
+(* ---------- simulate ---------- *)
+
+let simulate app nodes no_cr =
+  let prog, scale, noise = sim_program app nodes in
+  let machine = Realm.Machine.make ~nodes ~task_noise:noise () in
+  let per_step =
+    if no_cr then
+      (Legion.Sim_implicit.simulate ~machine ~scale ~steps:8 prog)
+        .Legion.Sim_implicit.per_step
+    else
+      let compiled = Cr.Pipeline.compile (Cr.Pipeline.default ~shards:nodes) prog in
+      (Legion.Sim_spmd.simulate ~machine ~scale ~steps:8 compiled)
+        .Legion.Sim_spmd.per_step
+  in
+  let elems, unit_ = elements_per_node app in
+  Printf.printf "%s on %d nodes (%s): %.4f s/step, %.1f %s/s per node\n"
+    (if no_cr then "implicit (no CR)" else "control-replicated")
+    nodes
+    (match app with
+    | Stencil -> "paper-scale instance"
+    | _ -> "reduced instance, scaled costs")
+    per_step (elems /. per_step) unit_
+
+(* ---------- sweep ---------- *)
+
+let sweep app =
+  let elems, unit_ = elements_per_node app in
+  Printf.printf "%6s %14s %14s   (%s/s per node)\n" "nodes" "Regent+CR"
+    "Regent-noCR" unit_;
+  List.iter
+    (fun n ->
+      let prog, scale, noise = sim_program app n in
+      let machine = Realm.Machine.make ~nodes:n ~task_noise:noise () in
+      let cr =
+        (Legion.Sim_spmd.simulate ~machine ~scale ~steps:8
+           (Cr.Pipeline.compile (Cr.Pipeline.default ~shards:n) prog))
+          .Legion.Sim_spmd.per_step
+      in
+      let nocr =
+        (Legion.Sim_implicit.simulate ~machine ~scale ~steps:6 prog)
+          .Legion.Sim_implicit.per_step
+      in
+      Printf.printf "%6d %14.1f %14.1f\n%!" n (elems /. cr) (elems /. nocr))
+    [ 1; 2; 4; 8; 16; 32; 64; 128 ]
+
+(* ---------- table1 ---------- *)
+
+let table1 nodes =
+  Printf.printf "%10s %12s %12s %12s\n" "app" "shallow(ms)" "complete(ms)"
+    "non-empty";
+  List.iter
+    (fun (name, app) ->
+      let prog, _, _ = sim_program app nodes in
+      let compiled = Cr.Pipeline.compile (Cr.Pipeline.default ~shards:nodes) prog in
+      let stats = Spmd.Intersections.fresh_stats () in
+      List.iter
+        (function
+          | Spmd.Prog.Replicated b ->
+              List.iter
+                (fun (c : Spmd.Prog.copy) ->
+                  match (c.Spmd.Prog.src, c.Spmd.Prog.dst) with
+                  | Spmd.Prog.Opart ps, Spmd.Prog.Opart pd ->
+                      ignore
+                        (Spmd.Intersections.compute ~stats
+                           ~src:(Ir.Program.find_partition compiled.Spmd.Prog.source ps)
+                           ~dst:(Ir.Program.find_partition compiled.Spmd.Prog.source pd)
+                           ())
+                  | _ -> ())
+                b.Spmd.Prog.copies
+          | Spmd.Prog.Seq _ -> ())
+        compiled.Spmd.Prog.items;
+      Printf.printf "%10s %12.2f %12.2f %12d\n%!" name
+        (stats.Spmd.Intersections.shallow_s *. 1e3)
+        (stats.Spmd.Intersections.complete_s *. 1e3)
+        stats.Spmd.Intersections.nonempty)
+    [ ("circuit", Circuit); ("miniaero", Miniaero); ("pennant", Pennant);
+      ("stencil", Stencil) ]
+
+(* ---------- command wiring ---------- *)
+
+let inspect_cmd =
+  let stages =
+    Arg.(
+      value & flag
+      & info [ "stages" ]
+          ~doc:"Also print the Fig. 4 transformation stages of each block.")
+  in
+  Cmd.v
+    (Cmd.info "inspect" ~doc:"Print the implicit program and its SPMD form.")
+    Term.(const inspect $ app_arg $ nodes_arg $ shards_arg $ stages)
+
+let run_cmd =
+  let seed =
+    Arg.(value & opt int 17 & info [ "seed" ] ~doc:"Random schedule seed.")
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Execute functionally and compare to sequential.")
+    Term.(const run $ app_arg $ nodes_arg $ shards_arg $ seed)
+
+let simulate_cmd =
+  let no_cr =
+    Arg.(value & flag & info [ "no-cr" ] ~doc:"Simulate without control replication.")
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Per-timestep cost on the simulated machine.")
+    Term.(const simulate $ app_arg $ nodes_arg $ no_cr)
+
+let sweep_cmd =
+  Cmd.v
+    (Cmd.info "sweep" ~doc:"Weak-scaling series (Figures 6-9 shape).")
+    Term.(const sweep $ app_arg)
+
+let table1_cmd =
+  Cmd.v
+    (Cmd.info "table1" ~doc:"Dynamic intersection timings (Table 1).")
+    Term.(const table1 $ nodes_arg)
+
+let () =
+  let doc = "control replication compiler and simulator driver" in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "crc" ~version:"1.0.0" ~doc)
+          [ inspect_cmd; run_cmd; simulate_cmd; sweep_cmd; table1_cmd ]))

@@ -1,0 +1,1 @@
+examples/circuit_demo.ml: Apps Cr Float Format Interp Ir List Partition Printf Regions Spmd

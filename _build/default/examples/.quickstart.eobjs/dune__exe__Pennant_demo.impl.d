@@ -1,0 +1,1 @@
+examples/pennant_demo.ml: Apps Cr Interp Legion List Printf Realm Spmd

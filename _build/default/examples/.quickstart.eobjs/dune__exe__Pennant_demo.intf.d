@@ -1,0 +1,1 @@
+examples/pennant_demo.mli:

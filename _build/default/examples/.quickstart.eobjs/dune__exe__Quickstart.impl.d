@@ -1,0 +1,1 @@
+examples/quickstart.ml: Accessor Array Cr Field Index_space Interp Ir Legion List Partition Physical Pretty Printf Privilege Program Realm Regions Spmd String Task

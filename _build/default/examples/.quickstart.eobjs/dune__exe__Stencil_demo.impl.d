@@ -1,0 +1,1 @@
+examples/stencil_demo.ml: Apps Cr Geometry Interp Ir Legion List Option Printf Realm Regions Spmd

@@ -1,0 +1,46 @@
+(* Stencil demo: the PRK star stencil (paper §5.1) run functionally at
+   small scale — validating against its closed-form answer — and then swept
+   through the machine simulator to reproduce the shape of Figure 6.
+
+   Run with: dune exec examples/stencil_demo.exe *)
+
+let () =
+  (* Functional run: a 4-node instance with real kernels. *)
+  let cfg = Apps.Stencil.test_config ~nodes:4 in
+  let prog = Apps.Stencil.program cfg in
+  let compiled = Cr.Pipeline.compile (Cr.Pipeline.default ~shards:4) prog in
+  let ctx = Interp.Run.create compiled.Spmd.Prog.source in
+  Spmd.Exec.run compiled ctx;
+  let x = 10 and y = 7 in
+  Printf.printf "out(%d,%d) after %d steps: %.6f (closed form %.6f)\n" x y
+    cfg.Apps.Stencil.timesteps
+    (let grid = Ir.Program.find_region prog "grid" in
+     let inst = Interp.Run.region_instance ctx grid in
+     let u = Option.get (Regions.Index_space.bounding_rect grid.Regions.Region.ispace) in
+     Regions.Physical.get inst (Regions.Field.make "out")
+       (Geometry.Rect.linearize u (Geometry.Point.make2 x y)))
+    (Apps.Stencil.expected_output cfg ~x ~y);
+  Printf.printf "checksum: %.3f\n\n" (Apps.Stencil.interior_checksum ctx prog);
+
+  (* Simulated weak scaling at paper scale (40000^2 points per node). *)
+  Printf.printf "%6s %14s %14s %14s   (10^6 points/s per node)\n" "nodes"
+    "Regent+CR" "Regent-noCR" "MPI";
+  List.iter
+    (fun n ->
+      let cfg = Apps.Stencil.default ~nodes:n in
+      let machine = Realm.Machine.piz_daint ~nodes:n in
+      let prog = Apps.Stencil.program cfg in
+      let cr =
+        (Legion.Sim_spmd.simulate ~machine ~steps:6
+           (Cr.Pipeline.compile (Cr.Pipeline.default ~shards:n) prog))
+          .Legion.Sim_spmd.per_step
+      in
+      let nocr =
+        (Legion.Sim_implicit.simulate ~machine ~steps:6 prog)
+          .Legion.Sim_implicit.per_step
+      in
+      let mpi = Apps.Stencil.Reference.per_step machine cfg Apps.Stencil.Reference.Mpi in
+      let tput t = float_of_int cfg.Apps.Stencil.points_per_node /. t /. 1e6 in
+      Printf.printf "%6d %14.1f %14.1f %14.1f\n%!" n (tput cr) (tput nocr)
+        (tput mpi))
+    [ 1; 4; 16; 64; 256 ]

@@ -1,0 +1,1 @@
+lib/apps/circuit.ml: Accessor Array Field Geometry Index_space Interp Ir Legion List Partition Physical Printf Privilege Program Random Realm Region Regions Sorted_iset Task

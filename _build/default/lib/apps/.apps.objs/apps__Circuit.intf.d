@@ -1,0 +1,1 @@
+lib/apps/circuit.mli: Interp Ir Legion Realm

@@ -1,0 +1,1 @@
+lib/apps/miniaero.mli: Interp Ir Legion Realm

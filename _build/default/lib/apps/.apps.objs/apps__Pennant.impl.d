@@ -1,0 +1,1 @@
+lib/apps/pennant.ml: Accessor Array Field Float Geometry Index_space Interp Ir Legion List Partition Physical Printf Privilege Program Realm Region Regions Task

@@ -1,0 +1,1 @@
+lib/apps/pennant.mli: Interp Ir Legion Realm

@@ -1,0 +1,1 @@
+lib/apps/stencil.ml: Accessor Array Field Float Geometry Index_space Interp Ir Legion Partition Physical Point Privilege Program Realm Rect Region Regions Task

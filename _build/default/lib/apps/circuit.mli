@@ -1,0 +1,64 @@
+(** Circuit: sparse unstructured circuit simulation (paper §5.4, after the
+    Legion circuit of Bauer et al. 2012).
+
+    A randomly generated sparse graph of circuit nodes connected by wires,
+    weak-scaled at [wires_per_node] wires and [cnodes_per_node] circuit
+    nodes per machine node (100k / 25k in the paper). The graph is divided
+    into pieces; wires stay mostly within their piece, with a configurable
+    fraction crossing to a neighbouring piece (ring locality, so each piece
+    exchanges with O(1) neighbours).
+
+    The node region uses the hierarchical private/shared idiom of §4.5: a
+    top-level disjoint partition separates nodes never involved in
+    communication ([all_private]) from boundary nodes ([all_shared]);
+    per-piece private, shared-owned and aliased ghost partitions live
+    below. Control replication proves the private partition free of
+    communication and issues copies and dynamic intersections only for the
+    shared/ghost side.
+
+    Each timestep runs the classic three phases:
+    + [calc_new_currents] — wires update currents from endpoint voltages
+      (reads private + shared + ghost voltages);
+    + [distribute_charge] — wires deposit charge at endpoints ({e reduce}
+      privileges into private, shared and ghost — §4.3);
+    + [update_voltage] — owned (private + shared) nodes integrate voltage
+      and reset charge.
+
+    With zero leakage the total node charge [Σ capacitance·voltage] is
+    conserved exactly — the validation invariant. *)
+
+type config = {
+  nodes : int;
+  pieces_per_node : int;
+  cnodes_per_piece : int;
+  wires_per_piece : int;
+  pct_cross : float; (* fraction of wires with a remote endpoint *)
+  timesteps : int;
+  seed : int;
+}
+
+val default : nodes:int -> config
+(** Paper scale: 8 pieces/node, 3125 circuit nodes and 12500 wires per
+    piece. Use only for simulation — a full instance materialises the
+    graph. *)
+
+val sim_config : nodes:int -> config
+(** Reduced instance with the paper's wires-to-nodes ratio; combine with
+    {!scale} for full-scale simulation. *)
+
+val test_config : nodes:int -> config
+
+val program : config -> Ir.Program.t
+
+val scale : config -> Legion.Scale.t
+(** Element multiplier from [sim_config] geometry to [default] geometry. *)
+
+val total_node_charge : Interp.Run.context -> Ir.Program.t -> float
+(** Σ capacitance·voltage + pending charge over all circuit nodes. *)
+
+module Reference : sig
+  val per_step : Realm.Machine.t -> config -> float
+  (** Hand-written SPMD model (the paper has no MPI reference for circuit;
+      this is the idealised explicit-communication equivalent, used by the
+      examples). *)
+end

@@ -1,0 +1,47 @@
+(** MiniAero: explicit compressible Navier-Stokes proxy on a 3D
+    unstructured mesh (paper §5.2, after the Mantevo mini-app).
+
+    A hex mesh treated as fully unstructured: cells carry conserved state,
+    internal faces carry fluxes and their two adjacent cell ids. The mesh
+    is divided into box pieces; cells are piece-major. Each timestep runs a
+    four-stage Runge–Kutta loop: per stage, a face flux computation
+    (reading a cell halo — own cells plus neighbours' boundary cells), a
+    residual gather (reading a face halo — own faces plus neighbour-owned
+    faces adjacent to own cells), and a stage update, preceded by one
+    state-save launch. Thirteen index launches per timestep make this the
+    richest copy-placement and synchronisation workload of the four
+    applications.
+
+    The central-difference flux is globally conservative: the sum of each
+    conserved field over all cells is invariant across timesteps — the
+    validation invariant. *)
+
+type config = {
+  nodes : int;
+  pieces_per_node : int;
+  piece_cells : int * int * int; (* cells per piece along x, y, z *)
+  timesteps : int;
+}
+
+val default : nodes:int -> config
+(** Paper scale: 512k cells per node (10 pieces of 40x40x32). Simulation
+    only. *)
+
+val sim_config : nodes:int -> config
+(** Reduced 8x8x8 pieces; combine with {!scale}. *)
+
+val test_config : nodes:int -> config
+
+val program : config -> Ir.Program.t
+val scale : config -> Legion.Scale.t
+
+val total_mass : Interp.Run.context -> Ir.Program.t -> float
+(** Σ density over all cells. *)
+
+module Reference : sig
+  type variant = Rank_per_core | Rank_per_node
+
+  val per_step : Realm.Machine.t -> config -> variant -> float
+  (** The MPI+Kokkos reference in its two configurations (Fig. 7): one
+      rank per core, or one rank per node with Kokkos threads. *)
+end

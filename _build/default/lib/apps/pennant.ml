@@ -1,0 +1,486 @@
+open Regions
+open Ir
+module Syn = Program.Syntax
+
+type config = {
+  nodes : int;
+  pieces_per_node : int;
+  piece_zones : int * int;
+  timesteps : int;
+}
+
+(* Calibrated to the paper's ~20 x 10^6 zones/s/node (Fig. 8): 7.4M
+   zones/node in 11 pieces on the 11 compute cores gives a ~0.27 s step.
+   The reference codes use all 12 cores and are correspondingly faster on
+   a single node. *)
+let eos_seconds_per_zone = 0.0825e-6
+let forces_seconds_per_zone = 0.165e-6
+let move_seconds_per_point = 0.11e-6
+let update_seconds_per_zone = 0.1375e-6
+let dt_seconds_per_zone = 0.055e-6
+let task_noise = 0.025
+
+let default ~nodes =
+  { nodes; pieces_per_node = 11; piece_zones = (819, 819); timesteps = 10 }
+
+let sim_config ~nodes =
+  { nodes; pieces_per_node = 11; piece_zones = (24, 24); timesteps = 10 }
+
+let test_config ~nodes =
+  { nodes; pieces_per_node = 2; piece_zones = (4, 3); timesteps = 3 }
+
+let zones_per_piece cfg =
+  let x, y = cfg.piece_zones in
+  x * y
+
+let scale cfg =
+  let full = default ~nodes:cfg.nodes in
+  let compute =
+    float_of_int (zones_per_piece full) /. float_of_int (zones_per_piece cfg)
+  in
+  let copy =
+    float_of_int (fst full.piece_zones) /. float_of_int (fst cfg.piece_zones)
+  in
+  Legion.Scale.make ~compute ~copy
+
+let fzp = Field.make "zp"
+let fzrho = Field.make "zrho"
+let fze = Field.make "ze"
+let fzvol = Field.make "zvol"
+let fzm = Field.make "zm"
+let fpt = Array.init 4 (fun k -> Field.make (Printf.sprintf "zpt%d" k))
+let fppx = Field.make "ppx"
+let fppy = Field.make "ppy"
+let fpvx = Field.make "pvx"
+let fpvy = Field.make "pvy"
+let fpfx = Field.make "pfx"
+let fpfy = Field.make "pfy"
+let fpm = Field.make "pm"
+
+let near_square n =
+  let a = ref 1 in
+  for d = 1 to int_of_float (sqrt (float_of_int n)) do
+    if n mod d = 0 then a := d
+  done;
+  (!a, n / !a)
+
+type mesh = {
+  pieces : int;
+  n_zones : int;
+  n_points : int;
+  zone_pts : int array array; (* zone -> 4 corner point ids *)
+  private_sets : Geometry.Sorted_iset.t array;
+  shared_sets : Geometry.Sorted_iset.t array;
+  ghost_sets : Geometry.Sorted_iset.t array;
+  all_private : Geometry.Sorted_iset.t;
+  all_shared : Geometry.Sorted_iset.t;
+}
+
+let generate cfg =
+  let pieces = cfg.nodes * cfg.pieces_per_node in
+  let zx, zy = cfg.piece_zones in
+  let gx, gy = near_square pieces in
+  let w = gx * zx and h = gy * zy in
+  let n_zones = pieces * zx * zy in
+  let n_points = (w + 1) * (h + 1) in
+  let point_id x y = (y * (w + 1)) + x in
+  (* Zone ids are piece-major. *)
+  let zone_id gx_ gy_ =
+    let px = gx_ / zx and py = gy_ / zy in
+    let piece = px + (gx * py) in
+    (piece * zx * zy) + (gx_ mod zx) + (zx * (gy_ mod zy))
+  in
+  let zone_pts = Array.make n_zones [||] in
+  for gy_ = 0 to h - 1 do
+    for gx_ = 0 to w - 1 do
+      zone_pts.(zone_id gx_ gy_) <-
+        [|
+          point_id gx_ gy_;
+          point_id (gx_ + 1) gy_;
+          point_id gx_ (gy_ + 1);
+          point_id (gx_ + 1) (gy_ + 1);
+        |]
+    done
+  done;
+  (* Pieces touching a point: the pieces of its up-to-four adjacent
+     zones. *)
+  let pieces_of_point x y =
+    let acc = ref [] in
+    List.iter
+      (fun (dx, dy) ->
+        let zx_ = x + dx and zy_ = y + dy in
+        if zx_ >= 0 && zx_ < w && zy_ >= 0 && zy_ < h then begin
+          let p = (zx_ / zx) + (gx * (zy_ / zy)) in
+          if not (List.mem p !acc) then acc := p :: !acc
+        end)
+      [ (-1, -1); (0, -1); (-1, 0); (0, 0) ];
+    List.sort compare !acc
+  in
+  let private_l = Array.make pieces []
+  and shared_l = Array.make pieces []
+  and ghost_l = Array.make pieces [] in
+  for y = 0 to h do
+    for x = 0 to w do
+      let id = point_id x y in
+      match pieces_of_point x y with
+      | [] -> ()
+      | [ p ] -> private_l.(p) <- id :: private_l.(p)
+      | owner :: others ->
+          shared_l.(owner) <- id :: shared_l.(owner);
+          List.iter (fun q -> ghost_l.(q) <- id :: ghost_l.(q)) others
+    done
+  done;
+  let private_sets = Array.map Geometry.Sorted_iset.of_list private_l
+  and shared_sets = Array.map Geometry.Sorted_iset.of_list shared_l
+  and ghost_sets = Array.map Geometry.Sorted_iset.of_list ghost_l in
+  {
+    pieces;
+    n_zones;
+    n_points;
+    zone_pts;
+    private_sets;
+    shared_sets;
+    ghost_sets;
+    all_private = Geometry.Sorted_iset.union_many private_sets;
+    all_shared = Geometry.Sorted_iset.union_many shared_sets;
+  }
+
+let program cfg =
+  let m = generate cfg in
+  let zx, _zy = cfg.piece_zones in
+  let gx, _gy = near_square m.pieces in
+  let w = gx * zx in
+  let b = Program.Builder.create ~name:"pennant" in
+  let zones =
+    Program.Builder.region b ~name:"zones"
+      (Index_space.of_range m.n_zones)
+      ([ fzp; fzrho; fze; fzvol; fzm ] @ Array.to_list fpt)
+  in
+  let points =
+    Program.Builder.region b ~name:"points"
+      (Index_space.of_range m.n_points)
+      [ fppx; fppy; fpvx; fpvy; fpfx; fpfy; fpm ]
+  in
+  let piset s = Index_space.of_iset ~universe_size:m.n_points s in
+  let pvs =
+    Program.Builder.partition b ~name:"pvs" (fun ~name ->
+        Partition.of_explicit ~name ~disjoint:true points
+          [| piset m.all_private; piset m.all_shared |])
+  in
+  let all_private = Partition.sub pvs 0
+  and all_shared = Partition.sub pvs 1 in
+  let _pvt =
+    Program.Builder.partition b ~name:"pvt" (fun ~name ->
+        Partition.of_explicit ~name ~disjoint:true all_private
+          (Array.map piset m.private_sets))
+  in
+  let _shr =
+    Program.Builder.partition b ~name:"shr" (fun ~name ->
+        Partition.of_explicit ~name ~disjoint:true all_shared
+          (Array.map piset m.shared_sets))
+  in
+  let _ghost =
+    Program.Builder.partition b ~name:"ghost" (fun ~name ->
+        Partition.of_explicit ~name ~disjoint:false all_shared
+          (Array.map piset m.ghost_sets))
+  in
+  let _zones_p =
+    Program.Builder.partition b ~name:"zones_p" (fun ~name ->
+        Partition.block ~name zones ~pieces:m.pieces)
+  in
+  Program.Builder.space b ~name:"P" m.pieces;
+  Program.Builder.scalar b ~name:"dt" 1e-3;
+  let corner_sign = [| (-1., -1.); (1., -1.); (-1., 1.); (1., 1.) |] in
+  (* Position/force lookup through pvt, shr or ghost (arguments 1-3). *)
+  let lookup field accs n =
+    let rec go k =
+      if k > 3 then
+        invalid_arg (Printf.sprintf "pennant: point %d not covered" n)
+      else if Index_space.mem (Accessor.space accs.(k)) n then
+        Accessor.get accs.(k) field n
+      else go (k + 1)
+    in
+    go 1
+  in
+  let deposit field accs n v =
+    let rec go k =
+      if k > 3 then
+        invalid_arg (Printf.sprintf "pennant: point %d not covered" n)
+      else if Index_space.mem (Accessor.space accs.(k)) n then
+        Accessor.reduce accs.(k) field n v
+      else go (k + 1)
+    in
+    go 1
+  in
+  let calc_dt =
+    Task.make ~name:"calc_dt"
+      ~params:
+        [
+          {
+            Task.pname = "zones";
+            privs = [ Privilege.reads fzvol; Privilege.reads fzp ];
+          };
+        ]
+      ~cost:(fun sizes -> float_of_int sizes.(0) *. dt_seconds_per_zone)
+      (fun accs _ ->
+        let zs = accs.(0) in
+        Index_space.fold_ids
+          (fun acc z ->
+            Float.min acc
+              (0.05 *. sqrt (Float.abs (Accessor.get zs fzvol z))
+              /. (1. +. Float.abs (Accessor.get zs fzp z))))
+          Float.infinity (Accessor.space zs))
+  in
+  let zone_eos =
+    Task.make ~name:"zone_eos"
+      ~params:
+        [
+          {
+            Task.pname = "zones";
+            privs =
+              [ Privilege.writes fzp; Privilege.reads fzrho; Privilege.reads fze ];
+          };
+        ]
+      ~cost:(fun sizes -> float_of_int sizes.(0) *. eos_seconds_per_zone)
+      (fun accs _ ->
+        let zs = accs.(0) in
+        Accessor.iter zs (fun z ->
+            Accessor.set zs fzp z
+              (0.4 *. Accessor.get zs fzrho z *. Accessor.get zs fze z));
+        0.)
+  in
+  let point_forces =
+    Task.make ~name:"point_forces"
+      ~params:
+        [
+          {
+            Task.pname = "zones";
+            privs =
+              Privilege.reads fzp
+              :: List.map Privilege.reads (Array.to_list fpt);
+          };
+          { Task.pname = "pvt"; privs = [ Privilege.reduces Privilege.Sum fpfx; Privilege.reduces Privilege.Sum fpfy ] };
+          { Task.pname = "shr"; privs = [ Privilege.reduces Privilege.Sum fpfx; Privilege.reduces Privilege.Sum fpfy ] };
+          { Task.pname = "ghost"; privs = [ Privilege.reduces Privilege.Sum fpfx; Privilege.reduces Privilege.Sum fpfy ] };
+        ]
+      ~cost:(fun sizes -> float_of_int sizes.(0) *. forces_seconds_per_zone)
+      (fun accs _ ->
+        let zs = accs.(0) in
+        Accessor.iter zs (fun z ->
+            let p = Accessor.get zs fzp z in
+            Array.iteri
+              (fun k (sx, sy) ->
+                let pt = int_of_float (Accessor.get zs fpt.(k) z) in
+                deposit fpfx accs pt (0.5 *. sx *. p);
+                deposit fpfy accs pt (0.5 *. sy *. p))
+              corner_sign);
+        0.)
+  in
+  let move_points =
+    let privs =
+      [
+        Privilege.writes fppx;
+        Privilege.writes fppy;
+        Privilege.writes fpvx;
+        Privilege.writes fpvy;
+        Privilege.writes fpfx;
+        Privilege.writes fpfy;
+        Privilege.reads fpm;
+      ]
+    in
+    Task.make ~name:"move_points"
+      ~params:[ { Task.pname = "pvt"; privs }; { Task.pname = "shr"; privs } ]
+      ~nscalars:1
+      ~cost:(fun sizes ->
+        float_of_int (sizes.(0) + sizes.(1)) *. move_seconds_per_point)
+      (fun accs sargs ->
+        let dt = sargs.(0) in
+        Array.iter
+          (fun acc ->
+            Accessor.iter acc (fun p ->
+                let minv = 1. /. Accessor.get acc fpm p in
+                let vx =
+                  Accessor.get acc fpvx p
+                  +. (dt *. Accessor.get acc fpfx p *. minv)
+                and vy =
+                  Accessor.get acc fpvy p
+                  +. (dt *. Accessor.get acc fpfy p *. minv)
+                in
+                Accessor.set acc fpvx p vx;
+                Accessor.set acc fpvy p vy;
+                Accessor.set acc fppx p (Accessor.get acc fppx p +. (dt *. vx));
+                Accessor.set acc fppy p (Accessor.get acc fppy p +. (dt *. vy));
+                Accessor.set acc fpfx p 0.;
+                Accessor.set acc fpfy p 0.))
+          [| accs.(0); accs.(1) |];
+        0.)
+  in
+  let zone_update =
+    Task.make ~name:"zone_update"
+      ~params:
+        [
+          {
+            Task.pname = "zones";
+            privs =
+              [
+                Privilege.writes fzvol;
+                Privilege.writes fzrho;
+                Privilege.writes fze;
+                Privilege.reads fzp;
+                Privilege.reads fzm;
+              ]
+              @ List.map Privilege.reads (Array.to_list fpt);
+          };
+          { Task.pname = "pvt"; privs = [ Privilege.reads fppx; Privilege.reads fppy ] };
+          { Task.pname = "shr"; privs = [ Privilege.reads fppx; Privilege.reads fppy ] };
+          { Task.pname = "ghost"; privs = [ Privilege.reads fppx; Privilege.reads fppy ] };
+        ]
+      ~cost:(fun sizes -> float_of_int sizes.(0) *. update_seconds_per_zone)
+      (fun accs _ ->
+        let zs = accs.(0) in
+        Accessor.iter zs (fun z ->
+            let px k = lookup fppx accs (int_of_float (Accessor.get zs fpt.(k) z))
+            and py k = lookup fppy accs (int_of_float (Accessor.get zs fpt.(k) z)) in
+            (* Shoelace area of the quad with corners 0,1,3,2 (ccw). *)
+            let order = [| 0; 1; 3; 2 |] in
+            let vol = ref 0. in
+            for k = 0 to 3 do
+              let a = order.(k) and b = order.((k + 1) mod 4) in
+              vol := !vol +. ((px a *. py b) -. (px b *. py a))
+            done;
+            let vol = 0.5 *. Float.abs !vol in
+            let old_vol = Accessor.get zs fzvol z in
+            let zm = Accessor.get zs fzm z in
+            Accessor.set zs fze z
+              (Accessor.get zs fze z
+              -. (Accessor.get zs fzp z *. (vol -. old_vol) /. zm));
+            Accessor.set zs fzvol z vol;
+            Accessor.set zs fzrho z (zm /. Float.max vol 1e-12));
+        0.)
+  in
+  let init_zones =
+    Task.make ~name:"init_zones"
+      ~params:
+        [
+          {
+            Task.pname = "zones";
+            privs =
+              [
+                Privilege.writes fzp;
+                Privilege.writes fzrho;
+                Privilege.writes fze;
+                Privilege.writes fzvol;
+                Privilege.writes fzm;
+              ]
+              @ List.map Privilege.writes (Array.to_list fpt);
+          };
+        ]
+      (fun accs _ ->
+        let zs = accs.(0) in
+        Accessor.iter zs (fun z ->
+            Accessor.set zs fzrho z 1.;
+            (* A central "Sedov-like" energy concentration. *)
+            Accessor.set zs fze z
+              (if z = m.n_zones / 2 then 10. else 1.);
+            Accessor.set zs fzp z 0.;
+            Accessor.set zs fzvol z 1.;
+            Accessor.set zs fzm z 1.;
+            Array.iteri
+              (fun k f ->
+                Accessor.set zs f z (float_of_int m.zone_pts.(z).(k)))
+              fpt);
+        0.)
+  in
+  let init_points =
+    Task.make ~name:"init_points"
+      ~params:
+        [
+          {
+            Task.pname = "points";
+            privs =
+              [
+                Privilege.writes fppx;
+                Privilege.writes fppy;
+                Privilege.writes fpvx;
+                Privilege.writes fpvy;
+                Privilege.writes fpfx;
+                Privilege.writes fpfy;
+                Privilege.writes fpm;
+              ];
+          };
+        ]
+      (fun accs _ ->
+        Accessor.iter accs.(0) (fun p ->
+            Accessor.set accs.(0) fppx p (float_of_int (p mod (w + 1)));
+            Accessor.set accs.(0) fppy p (float_of_int (p / (w + 1)));
+            Accessor.set accs.(0) fpvx p 0.;
+            Accessor.set accs.(0) fpvy p 0.;
+            Accessor.set accs.(0) fpfx p 0.;
+            Accessor.set accs.(0) fpfy p 0.;
+            Accessor.set accs.(0) fpm p 1.);
+        0.)
+  in
+  List.iter (Program.Builder.task b)
+    [ calc_dt; zone_eos; point_forces; move_points; zone_update; init_zones;
+      init_points ];
+  Program.Builder.body b
+    [
+      Syn.run (Syn.call "init_zones" [ Syn.whole "zones" ]);
+      Syn.run (Syn.call "init_points" [ Syn.whole "points" ]);
+      Syn.for_time "t" cfg.timesteps
+        [
+          Syn.forall_reduce "P"
+            (Syn.call "calc_dt" [ Syn.part "zones_p" ])
+            ~into:"dt" Privilege.Min;
+          Syn.forall "P" (Syn.call "zone_eos" [ Syn.part "zones_p" ]);
+          Syn.forall "P"
+            (Syn.call "point_forces"
+               [ Syn.part "zones_p"; Syn.part "pvt"; Syn.part "shr"; Syn.part "ghost" ]);
+          Syn.forall "P"
+            (Syn.call "move_points"
+               ~scalars:[ Syn.sv "dt" ]
+               [ Syn.part "pvt"; Syn.part "shr" ]);
+          Syn.forall "P"
+            (Syn.call "zone_update"
+               [ Syn.part "zones_p"; Syn.part "pvt"; Syn.part "shr"; Syn.part "ghost" ]);
+        ];
+    ];
+  Program.Builder.finish b
+
+let total_momentum ctx prog =
+  let points = Program.find_region prog "points" in
+  let inst = Interp.Run.region_instance ctx points in
+  Index_space.fold_ids
+    (fun (mx, my) id ->
+      let m = Physical.get inst fpm id in
+      ( mx +. (m *. Physical.get inst fpvx id),
+        my +. (m *. Physical.get inst fpvy id) ))
+    (0., 0.) points.Region.ispace
+
+module Reference = struct
+  type variant = Mpi | Mpi_openmp
+
+  let per_step machine cfg variant =
+    let zones_per_node = cfg.pieces_per_node * zones_per_piece cfg in
+    let points_per_node = zones_per_node in
+    let core_seconds =
+      (float_of_int zones_per_node
+      *. (eos_seconds_per_zone +. forces_seconds_per_zone
+         +. update_seconds_per_zone +. dt_seconds_per_zone))
+      +. (float_of_int points_per_node *. move_seconds_per_point)
+    in
+    let base = core_seconds /. float_of_int machine.Realm.Machine.cores_per_node in
+    let nodes = machine.Realm.Machine.nodes in
+    (* Per-step blocking dt allreduce: heavy-tailed noise amplified with
+       rank count. Coefficients calibrated to the paper's 82% (MPI) and
+       64% (MPI+OpenMP) parallel efficiencies at 1024 nodes; MPI+OpenMP
+       overlaps communication worse (§5.3). *)
+    match variant with
+    | Mpi ->
+        let ranks = nodes * machine.Realm.Machine.cores_per_node in
+        let steps_log = Float.max 0. (Float.log2 (float_of_int ranks) -. Float.log2 12.) in
+        base *. (1. +. (0.022 *. steps_log))
+    | Mpi_openmp ->
+        let steps_log = Float.max 0. (Float.log2 (float_of_int (max 1 nodes))) in
+        base *. (1. +. (0.056 *. steps_log))
+end

@@ -1,0 +1,58 @@
+(** PENNANT: Lagrangian hydrodynamics on a 2D unstructured mesh (paper
+    §5.3, after the LANL proxy application).
+
+    Zones (quads) carry thermodynamic state; points carry position,
+    velocity and accumulated forces. Points on piece seams are shared
+    between pieces, so the point region uses the §4.5 private/shared
+    hierarchy with per-piece private, shared-owned and aliased ghost
+    partitions. Each timestep:
+
+    + [calc_dt] — a {e scalar min-reduction} over zones into [dt]
+      (paper §4.4; the global reduction whose latency Fig. 8 is about);
+    + [zone_eos] — zone pressure from density and energy;
+    + [point_forces] — zones push their four corner points ({e reduce}
+      into private, shared and ghost point partitions);
+    + [move_points] — integrate velocities and positions with [dt], reset
+      forces;
+    + [zone_update] — new zone volumes (shoelace formula over corner
+      positions read through the point partitions), density, energy.
+
+    The corner force pattern is antisymmetric, so total momentum
+    [Σ m·v] is conserved exactly — the validation invariant.
+
+    PENNANT runs are configured with machine [task_noise] (heavy-tailed
+    per-task variability): the per-step dt collective makes every variant
+    pay the slowest task, which is what separates the three curves of
+    Fig. 8. *)
+
+type config = {
+  nodes : int;
+  pieces_per_node : int;
+  piece_zones : int * int; (* zones per piece along x, y *)
+  timesteps : int;
+}
+
+val default : nodes:int -> config
+(** Paper scale: 7.4M zones/node (8 pieces of 960x960). Simulation only. *)
+
+val sim_config : nodes:int -> config
+val test_config : nodes:int -> config
+
+val program : config -> Ir.Program.t
+val scale : config -> Legion.Scale.t
+
+val task_noise : float
+(** The machine noise level used for the Fig. 8 experiment. *)
+
+val total_momentum : Interp.Run.context -> Ir.Program.t -> float * float
+(** (Σ m·vx, Σ m·vy) over all points. *)
+
+module Reference : sig
+  type variant = Mpi | Mpi_openmp
+
+  val per_step : Realm.Machine.t -> config -> variant -> float
+  (** The reference codes use all 12 cores (faster than Regent on one
+      node), but their blocking dt allreduce amplifies noise with scale:
+      82% (MPI) and 64% (MPI+OpenMP) parallel efficiency at 1024 nodes in
+      the paper. *)
+end

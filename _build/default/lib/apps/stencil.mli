@@ -1,0 +1,51 @@
+(** Stencil: the Parallel Research Kernels 2D star-shaped stencil (paper
+    §5.1).
+
+    A radius-[r] star stencil over a square grid of double-precision
+    values, weak-scaled at [points_per_node] grid points per node
+    (40000² in the paper). Each timestep applies the stencil ([out +=
+    Σ w·in]) and then increments the input everywhere ([in += 1]), exactly
+    the PRK iteration structure.
+
+    The grid is tiled into [tiles_per_node × nodes] tiles; an aliased
+    image partition grows each tile by the stencil radius — the halo — so
+    control replication turns the write-to-[in] / read-from-halo pattern
+    into point-to-point halo exchanges.
+
+    Being structured, instances can be built at full paper scale: partition
+    geometry is rectangle algebra, so the simulator uses real sizes
+    ([Legion.Scale.unit_scale]). Kernels only run at test scale. *)
+
+type config = {
+  nodes : int;
+  points_per_node : int; (* grid points per node (a square number scale) *)
+  tiles_per_node : int;
+  radius : int;
+  timesteps : int;
+}
+
+val default : nodes:int -> config
+(** Paper configuration: 40000² points/node, radius 2, tiles to fill the
+    node's compute cores. *)
+
+val test_config : nodes:int -> config
+(** Small instance for functional runs (kernels execute). *)
+
+val program : config -> Ir.Program.t
+
+val scale : config -> Legion.Scale.t
+
+val interior_checksum : Interp.Run.context -> Ir.Program.t -> float
+(** Sum of the [out] field (validation support). *)
+
+val expected_output : config -> x:int -> y:int -> float
+(** Closed-form value of [out] at an interior point after [timesteps]
+    steps of the PRK iteration with unit-normalised star weights. *)
+
+(** Reference implementations (paper comparators), as step-time models on
+    the simulated machine. *)
+module Reference : sig
+  type variant = Mpi | Mpi_openmp
+
+  val per_step : Realm.Machine.t -> config -> variant -> float
+end

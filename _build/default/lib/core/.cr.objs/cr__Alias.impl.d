@@ -1,0 +1,1 @@
+lib/core/alias.ml: Partition Region Region_tree Regions

@@ -1,0 +1,1 @@
+lib/core/alias.mli: Regions

@@ -1,0 +1,1 @@
+lib/core/normalize.ml: Array Ir List Partition Printf Program Region Region_tree Regions Types

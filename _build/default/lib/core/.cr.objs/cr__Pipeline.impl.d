@@ -1,0 +1,1 @@
+lib/core/pipeline.ml: Alias Check Ir List Normalize Partition Placement Printf Privilege Program Regions Replicate Spmd Sync Task Types

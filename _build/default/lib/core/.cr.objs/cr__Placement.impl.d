@@ -1,0 +1,1 @@
+lib/core/placement.ml: Array Field Ir List Privilege Regions Spmd Summary

@@ -1,0 +1,1 @@
+lib/core/replicate.ml: Alias Array Field Hashtbl Ir List Partition Printf Privilege Program Region Region_tree Regions Spmd Task Types Usage

@@ -1,0 +1,1 @@
+lib/core/replicate.mli: Ir Spmd

@@ -1,0 +1,1 @@
+lib/core/sync.ml: Array List Placement Spmd

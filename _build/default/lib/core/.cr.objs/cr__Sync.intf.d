@@ -1,0 +1,1 @@
+lib/core/sync.mli: Ir Spmd

@@ -1,0 +1,1 @@
+lib/core/usage.ml: Field Ir List Privilege Regions Summary Types

@@ -1,0 +1,1 @@
+lib/core/usage.mli: Ir Regions

@@ -1,0 +1,13 @@
+open Regions
+
+let may_alias ~hierarchical tree (p : Partition.t) (q : Partition.t) =
+  if Partition.equal p q then
+    invalid_arg "Alias.may_alias: same partition";
+  if hierarchical then
+    not (Region_tree.provably_disjoint tree p.Partition.parent q.Partition.parent)
+  else
+    (* Flat view: only the root matters. Partitions of different trees
+       never alias; partitions of the same tree always may. *)
+    Region.equal
+      (Region_tree.root_of tree p.Partition.parent)
+      (Region_tree.root_of tree q.Partition.parent)

@@ -1,0 +1,28 @@
+(** Partition-level static aliasing analysis (paper §2.3, §4.5).
+
+    Control replication needs to know, for two partitions used in a
+    replicated block, whether any subregion of one may share elements with
+    any subregion of the other — if so, writes to one must be copied to the
+    other. Since every subregion of a partition is contained in the
+    partition's parent region, two partitions are provably disjoint exactly
+    when their parent regions are: the {!Regions.Region_tree.provably_disjoint}
+    LCA test. This is where hierarchical region trees (§4.5) pay off — a
+    partition of the [all_private] subregion is provably disjoint from any
+    partition of [all_ghost], so no copies (and no dynamic intersections)
+    are ever issued between them.
+
+    With [hierarchical:false] the analysis collapses the tree: two distinct
+    partitions of the same root may always alias. This reproduces the
+    behaviour the §4.5 optimization improves on and feeds the ablation
+    benchmark. *)
+
+val may_alias :
+  hierarchical:bool ->
+  Regions.Region_tree.t ->
+  Regions.Partition.t ->
+  Regions.Partition.t ->
+  bool
+(** [may_alias ~hierarchical tree p q] for distinct partitions [p <> q].
+    Raises [Invalid_argument] when called on the same partition (a
+    partition never needs copies to itself — each color has exactly one
+    instance). *)

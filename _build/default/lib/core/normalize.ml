@@ -1,0 +1,68 @@
+open Regions
+open Ir
+
+let derived_name p fname = Printf.sprintf "__proj_%s_%s" p fname
+
+let program (prog : Program.t) =
+  let extra = ref [] in
+  (* (partition, fname) -> derived partition name *)
+  let derive space_size pname fname f =
+    let dname = derived_name pname fname in
+    let already =
+      List.mem_assoc dname prog.Program.decls
+      || List.mem_assoc dname !extra
+    in
+    if not already then begin
+      let p = Program.find_partition prog pname in
+      let spaces =
+        Array.init space_size (fun i ->
+            let c = f i in
+            if c < 0 || c >= Partition.color_count p then
+              invalid_arg
+                (Printf.sprintf
+                   "Normalize: projection %s maps launch point %d to color \
+                    %d, outside partition %s"
+                   fname i c pname);
+            (Partition.sub p c).Region.ispace)
+      in
+      let q = Partition.of_explicit ~name:dname p.Partition.parent spaces in
+      Region_tree.register_partition prog.Program.tree q;
+      extra := (dname, Types.Dpartition q) :: !extra
+    end;
+    dname
+  in
+  let rewrite_launch space (l : Types.launch) =
+    let n = Program.find_space prog space in
+    let rargs =
+      List.map
+        (function
+          | Types.Part (p, Types.Fn (fname, f)) ->
+              Types.Part (derive n p fname f, Types.Id)
+          | (Types.Part (_, Types.Id) | Types.Whole _) as a -> a)
+        l.Types.rargs
+    in
+    { l with Types.rargs }
+  in
+  let rec rewrite_stmt = function
+    | Types.Index_launch { space; launch } ->
+        Types.Index_launch { space; launch = rewrite_launch space launch }
+    | Types.Index_launch_reduce { space; launch; var; op } ->
+        Types.Index_launch_reduce
+          { space; launch = rewrite_launch space launch; var; op }
+    | (Types.Single_launch _ | Types.Assign _) as s -> s
+    | Types.For_time { var; count; body } ->
+        Types.For_time { var; count; body = List.map rewrite_stmt body }
+    | Types.If { test; then_; else_ } ->
+        Types.If
+          {
+            test;
+            then_ = List.map rewrite_stmt then_;
+            else_ = List.map rewrite_stmt else_;
+          }
+  in
+  let body = List.map rewrite_stmt prog.Program.body in
+  {
+    prog with
+    Program.decls = prog.Program.decls @ List.rev !extra;
+    Program.body = body;
+  }

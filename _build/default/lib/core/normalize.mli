@@ -1,0 +1,17 @@
+(** Projection normalization (paper §2.2).
+
+    Region arguments of index launches must be of the form [p\[f(i)\]] with
+    [f] pure. Control replication wants every argument in the canonical
+    form [q\[i\]]: this pass rewrites each [p\[f(i)\]] into [q\[i\]] where
+    [q] is a fresh partition of [p]'s parent with [q\[i\] = p\[f(i)\]] —
+    "we make essential use of Regent's ability to define multiple
+    partitions of the same data".
+
+    The derived partition's disjointness is detected dynamically by
+    {!Regions.Partition.of_explicit} (it is disjoint when [f] is injective
+    on the launch space and [p] is disjoint). Derived partitions are named
+    [__proj_<p>_<f>] and shared between launches using the same pair; the
+    function value must agree with the name, as in the source language. *)
+
+val program : Ir.Program.t -> Ir.Program.t
+(** Rewrite every index launch in the program. Idempotent. *)

@@ -1,0 +1,224 @@
+open Regions
+open Ir
+
+type config = {
+  shards : int;
+  sync : [ `P2p | `Barrier ];
+  intersections : [ `Sparse | `Dense ];
+  placement : bool;
+  hierarchical : bool;
+}
+
+let default ~shards =
+  { shards; sync = `P2p; intersections = `Sparse; placement = true;
+    hierarchical = true }
+
+type ineligible = { stmt : Types.stmt; reason : string }
+
+(* A For_time body is replicable when it consists of index launches (plain
+   or scalar-reducing) over identity projections and scalar assignments,
+   with write arguments independent across iterations and partition color
+   counts equal to their launch space — the §2.2 target-program conditions
+   plus what the block ownership mapping needs. *)
+let block_eligible (prog : Program.t) stmts =
+  let problem = ref None in
+  let report stmt reason =
+    match !problem with
+    | None -> problem := Some { stmt; reason }
+    | Some _ -> ()
+  in
+  let check_launch stmt space (l : Types.launch) =
+    let task = Program.find_task prog l.Types.task in
+    let n = Program.find_space prog space in
+    (* (partition, field, mode) triples of this launch, by argument. *)
+    let accesses = ref [] in
+    List.iteri
+      (fun i rarg ->
+        match rarg with
+        | Types.Whole r ->
+            report stmt
+              (Printf.sprintf "whole-region argument %s in an index launch" r)
+        | Types.Part (pname, proj) ->
+            (match proj with
+            | Types.Id -> ()
+            | Types.Fn (f, _) ->
+                report stmt
+                  (Printf.sprintf
+                     "non-normalized projection %s on %s (run Normalize \
+                      first)"
+                     f pname));
+            let p = Program.find_partition prog pname in
+            if Partition.color_count p <> n then
+              report stmt
+                (Printf.sprintf
+                   "partition %s has %d colors but launch space %s has %d \
+                    points (block ownership needs them equal)"
+                   pname (Partition.color_count p) space n);
+            if
+              Task.writes_param task i
+              && p.Partition.disjointness <> Partition.Disjoint
+            then
+              report stmt
+                (Printf.sprintf "write to aliased partition %s" pname);
+            List.iter
+              (fun (pr : Privilege.t) ->
+                accesses :=
+                  (i, pname, pr.Privilege.field, pr.Privilege.mode)
+                  :: !accesses)
+              (Task.param_privs task i))
+      l.Types.rargs;
+    (* Iterations must be independent (§2.2: no loop-carried dependencies
+       except reductions): two conflicting accesses to the same field
+       through different, possibly-overlapping partitions would let
+       iteration i touch data iteration j uses. Accesses through the same
+       partition are diagonal (identity projections) and safe. *)
+    let conflicting m1 m2 =
+      match (m1, m2) with
+      | Privilege.Read, Privilege.Read -> false
+      | Privilege.Reduce a, Privilege.Reduce b -> a <> b
+      | _ -> true
+    in
+    List.iter
+      (fun (i, p, f, m) ->
+        List.iter
+          (fun (i', p', f', m') ->
+            if
+              i < i' && p <> p'
+              && Regions.Field.equal f f'
+              && conflicting m m'
+              && Alias.may_alias ~hierarchical:true prog.Program.tree
+                   (Program.find_partition prog p)
+                   (Program.find_partition prog p')
+            then
+              report stmt
+                (Printf.sprintf
+                   "arguments %s and %s conflict on field %s and may alias \
+                    (loop-carried dependency)"
+                   p p' (Regions.Field.name f)))
+          !accesses)
+      !accesses
+  in
+  List.iter
+    (fun stmt ->
+      match stmt with
+      | Types.Index_launch { space; launch } ->
+          check_launch stmt space launch
+      | Types.Index_launch_reduce { space; launch; _ } ->
+          check_launch stmt space launch
+      | Types.Assign _ -> ()
+      | Types.Single_launch _ ->
+          report stmt "single task launch inside the loop"
+      | Types.For_time _ -> report stmt "nested time loop"
+      | Types.If _ -> report stmt "data-dependent control flow in the loop")
+    stmts;
+  !problem
+
+let collect_copies instrs =
+  let rec go acc = function
+    | [] -> acc
+    | Spmd.Prog.Copy c :: rest -> go (acc @ [ c ]) rest
+    | Spmd.Prog.For_time { body; _ } :: rest -> go (go acc body) rest
+    | _ :: rest -> go acc rest
+  in
+  go [] instrs
+
+type staged = {
+  replicated : Spmd.Prog.instr list;
+  placed : Spmd.Prog.instr list;
+  synced : Spmd.Prog.instr list;
+}
+
+(* Shared skeleton of [compile] and [stage_blocks]: run the staged
+   transformation on one eligible block body. *)
+let transform_block (config : config) prog ~fresh_copy_id body =
+  let r =
+    Replicate.block ~prog ~pairs_mode:config.intersections
+      ~hierarchical:config.hierarchical ~fresh_copy_id body
+  in
+  let finalize_sources =
+    List.filter_map
+      (function
+        | Spmd.Prog.Copy { src = Spmd.Prog.Opart p; _ } -> Some p
+        | _ -> None)
+      r.Replicate.finalize
+  in
+  let placed =
+    if config.placement then
+      Placement.optimize ~prog:r.Replicate.prog ~finalize_sources
+        r.Replicate.loop_body
+    else r.Replicate.loop_body
+  in
+  let synced, credits = Sync.insert ~prog:r.Replicate.prog ~mode:config.sync placed in
+  (r, placed, synced, credits)
+
+let compile (config : config) (prog : Program.t) =
+  Check.check_exn prog;
+  let prog = Normalize.program prog in
+  let counter = ref 0 in
+  let fresh_copy_id () =
+    let id = !counter in
+    incr counter;
+    id
+  in
+  (* Thread the program through: replication adds temporary partitions. *)
+  let cur = ref prog in
+  let items = ref [] in
+  let pending_seq = ref [] in
+  let flush_seq () =
+    match !pending_seq with
+    | [] -> ()
+    | stmts ->
+        items := Spmd.Prog.Seq (List.rev stmts) :: !items;
+        pending_seq := []
+  in
+  List.iter
+    (fun stmt ->
+      match stmt with
+      | Types.For_time { var; count; body }
+        when block_eligible !cur body = None ->
+          flush_seq ();
+          let r, _, loop_body, credits =
+            transform_block config !cur ~fresh_copy_id body
+          in
+          cur := r.Replicate.prog;
+          let body_instrs = [ Spmd.Prog.For_time { var; count; body = loop_body } ] in
+          let block =
+            {
+              Spmd.Prog.shards = config.shards;
+              init = r.Replicate.init;
+              body = body_instrs;
+              finalize = r.Replicate.finalize;
+              copies =
+                collect_copies
+                  (r.Replicate.init @ loop_body @ r.Replicate.finalize);
+              credits;
+            }
+          in
+          items := Spmd.Prog.Replicated block :: !items
+      | _ -> pending_seq := stmt :: !pending_seq)
+    prog.Program.body;
+  flush_seq ();
+  { Spmd.Prog.source = !cur; items = List.rev !items }
+
+
+let stage_blocks (config : config) (prog : Program.t) =
+  Check.check_exn prog;
+  let prog = Normalize.program prog in
+  let counter = ref 0 in
+  let fresh_copy_id () =
+    let id = !counter in
+    incr counter;
+    id
+  in
+  let cur = ref prog in
+  List.filter_map
+    (fun stmt ->
+      match stmt with
+      | Types.For_time { body; _ } when block_eligible !cur body = None ->
+          let r, placed, synced, _ =
+            transform_block config !cur ~fresh_copy_id body
+          in
+          cur := r.Replicate.prog;
+          Some { replicated = r.Replicate.loop_body; placed; synced }
+      | _ -> None)
+    prog.Program.body

@@ -1,0 +1,57 @@
+(** The control replication pipeline (paper §3).
+
+    [compile] turns an implicitly parallel program into an SPMD one:
+
+    + well-formedness check ({!Ir.Check});
+    + projection normalization — every launch argument becomes [q\[i\]]
+      ({!Normalize}, §2.2);
+    + block selection — each outer [For_time] loop whose body is made of
+      index launches and scalar statements is replicated; everything else
+      stays sequential (control replication is a local transformation,
+      §2.2);
+    + data replication with reduction temporaries ({!Replicate}, §3.1,
+      §4.3–4.4);
+    + copy placement ({!Placement}, §3.2);
+    + synchronization insertion ({!Sync}, §3.4);
+    + shard creation — the block records the shard count; ownership of
+      colors is the block distribution of §3.5, applied by the executor
+      and the simulator.
+
+    The copy intersection optimization (§3.3) is a runtime analysis: the
+    pipeline only marks copies [`Sparse] (shallow + complete intersections)
+    or [`Dense] (all pairs) for {!Spmd.Intersections} to compute. *)
+
+type config = {
+  shards : int;
+  sync : [ `P2p | `Barrier ]; (* §3.4 point-to-point vs naive barriers *)
+  intersections : [ `Sparse | `Dense ]; (* §3.3 on / off *)
+  placement : bool; (* §3.2 on / off *)
+  hierarchical : bool; (* §4.5 on / off *)
+}
+
+val default : shards:int -> config
+(** All optimizations on: [`P2p], [`Sparse], placement, hierarchical. *)
+
+type ineligible = { stmt : Ir.Types.stmt; reason : string }
+
+val block_eligible : Ir.Program.t -> Ir.Types.stmt list -> ineligible option
+(** [None] when a [For_time] body can be replicated; otherwise the first
+    offending statement and why. *)
+
+val compile : config -> Ir.Program.t -> Spmd.Prog.t
+(** Raises [Invalid_argument] when {!Ir.Check} fails. Programs with no
+    eligible block compile to a fully sequential [Spmd.Prog.t]. *)
+
+(** Intermediate artifacts of one replicated block — the Fig. 4 stages. *)
+type staged = {
+  replicated : Spmd.Prog.instr list;
+      (** loop body after data replication (Fig. 4a) *)
+  placed : Spmd.Prog.instr list;  (** after copy placement (§3.2) *)
+  synced : Spmd.Prog.instr list;
+      (** after synchronization insertion (Fig. 4c / the shard body of
+          Fig. 4d) *)
+}
+
+val stage_blocks : config -> Ir.Program.t -> staged list
+(** The staged artifacts of every eligible block, in program order (for
+    inspection and golden tests; [compile] is the production path). *)

@@ -1,0 +1,84 @@
+open Regions
+open Ir
+
+let subset_fields a b = List.for_all (fun f -> List.exists (Field.equal f) b) a
+let overlap_fields a b = List.exists (fun f -> List.exists (Field.equal f) b) a
+
+(* Does [instr] read or write any of [fields] of partition [part]? *)
+let uses_partition prog part fields instr =
+  match instr with
+  | Spmd.Prog.Launch { launch; _ } | Spmd.Prog.Launch_collective { launch; _ }
+    ->
+      let accs = Summary.launch_accesses prog launch in
+      List.exists
+        (fun (a : Summary.access) ->
+          a.Summary.part = part
+          && List.exists (Field.equal a.Summary.field) fields
+          &&
+          match a.Summary.mode with
+          | Privilege.Read | Privilege.Read_write -> true
+          | Privilege.Reduce _ -> false)
+        accs
+  | Spmd.Prog.Copy c ->
+      (* A copy reads its source and writes its destination. *)
+      (match c.Spmd.Prog.src with
+      | Spmd.Prog.Opart p -> p = part && overlap_fields fields c.Spmd.Prog.fields
+      | Spmd.Prog.Oregion _ -> false)
+      || (match c.Spmd.Prog.dst with
+         | Spmd.Prog.Opart p ->
+             p = part && overlap_fields fields c.Spmd.Prog.fields
+         | Spmd.Prog.Oregion _ -> false)
+  | Spmd.Prog.Fill { part = p; fields = fl; _ } ->
+      p = part && overlap_fields fields fl
+  | Spmd.Prog.Await _ | Spmd.Prog.Release _ | Spmd.Prog.Barrier
+  | Spmd.Prog.Assign _ ->
+      false
+  | Spmd.Prog.For_time _ ->
+      invalid_arg "Placement: nested loop in replicated body"
+
+let optimize ~prog ?(finalize_sources = []) instrs =
+  let arr = Array.of_list instrs in
+  let n = Array.length arr in
+  let removed = Array.make n false in
+  for k = 0 to n - 1 do
+    match arr.(k) with
+    | Spmd.Prog.Copy c when c.Spmd.Prog.reduce = None -> (
+        let dst_part =
+          match c.Spmd.Prog.dst with
+          | Spmd.Prog.Opart p -> Some p
+          | Spmd.Prog.Oregion _ -> None
+        in
+        match dst_part with
+        | None -> ()
+        | Some dp ->
+            (* Scan forward — cyclically around the loop back edge, unless
+               the destination flows into finalization, in which case its
+               last value is observable after the final iteration — for an
+               identical copy shadowing this one. *)
+            let cyclic = not (List.mem dp finalize_sources) in
+            let limit = if cyclic then n - 1 else n - 1 - k in
+            let rec scan step =
+              if step > limit then ()
+              else
+                let j = (k + step) mod n in
+                if removed.(j) then scan (step + 1)
+                else
+                  match arr.(j) with
+                  | Spmd.Prog.Copy c'
+                    when c'.Spmd.Prog.reduce = None
+                         && c'.Spmd.Prog.src = c.Spmd.Prog.src
+                         && c'.Spmd.Prog.dst = c.Spmd.Prog.dst
+                         && subset_fields c.Spmd.Prog.fields
+                              c'.Spmd.Prog.fields ->
+                      removed.(k) <- true
+                  | instr ->
+                      (* Stop if the destination's copied fields are used in
+                         between: the earlier copy is observable. *)
+                      if uses_partition prog dp c.Spmd.Prog.fields instr then
+                        ()
+                      else scan (step + 1)
+            in
+            scan 1)
+    | _ -> ()
+  done;
+  List.filteri (fun k _ -> not removed.(k)) (Array.to_list arr)

@@ -1,0 +1,29 @@
+(** Copy placement optimization (paper §3.2).
+
+    Data replication inserts a copy to every aliased user after {e each}
+    write; when a partition is written several times before anyone reads
+    the aliased copies (e.g. the stages of a Runge–Kutta step), the earlier
+    copies are redundant. This is the partial-redundancy-elimination
+    variant the paper describes, run at partition granularity: a plain copy
+    is removed when a later copy with the same source, destination and a
+    superset of its fields exists with no intervening instruction using
+    (reading or writing) the destination's copied fields.
+
+    Reduction-apply copies are never removed — each application carries
+    that statement's contributions. *)
+
+val optimize :
+  prog:Ir.Program.t ->
+  ?finalize_sources:string list ->
+  Spmd.Prog.instr list ->
+  Spmd.Prog.instr list
+(** Operates on a loop body produced by {!Replicate} (no synchronization
+    instructions yet, no nested loops). The redundancy scan crosses the
+    loop back edge except for destinations in [finalize_sources], whose
+    value after the last iteration is observable. *)
+
+val uses_partition :
+  Ir.Program.t -> string -> Regions.Field.t list -> Spmd.Prog.instr -> bool
+(** Does the instruction read or write any of the given fields of the given
+    partition? Shared with {!Sync}, which places Release after the last
+    user. *)

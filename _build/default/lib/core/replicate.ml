@@ -1,0 +1,242 @@
+open Regions
+open Ir
+
+type result = {
+  prog : Program.t;
+  init : Spmd.Prog.instr list;
+  loop_body : Spmd.Prog.instr list;
+  finalize : Spmd.Prog.instr list;
+}
+
+let inter_fields a b = List.filter (fun f -> List.exists (Field.equal f) b) a
+
+let root_region_name (prog : Program.t) (p : Partition.t) =
+  let root = Region_tree.root_of prog.Program.tree p.Partition.parent in
+  let found =
+    List.find_map
+      (fun (name, d) ->
+        match d with
+        | Types.Dregion r when Region.equal r root -> Some name
+        | _ -> None)
+      prog.Program.decls
+  in
+  match found with
+  | Some name -> name
+  | None ->
+      invalid_arg
+        (Printf.sprintf
+           "Replicate: root region %s of partition %s is not declared"
+           root.Region.name p.Partition.name)
+
+let block ~(prog : Program.t) ~pairs_mode ~hierarchical ~fresh_copy_id stmts
+    =
+  let uses = Usage.of_block prog stmts in
+  let used = Usage.used_partitions uses in
+  let part name = Program.find_partition prog name in
+  let aliased p q =
+    Alias.may_alias ~hierarchical prog.Program.tree (part p) (part q)
+  in
+  (* Destination fields a copy out of [src_fields] should deliver to [q]:
+     everything [q] observes — reads, writes (the replica flows back at
+     finalization), and reduced fields (reduction-apply needs an up-to-date
+     base, and the home partition also flows back). *)
+  let dst_fields q src_fields =
+    inter_fields src_fields (Usage.all_fields uses q)
+  in
+  let mk_copy ?reduce ~src ~dst fields =
+    Spmd.Prog.Copy
+      {
+        Spmd.Prog.copy_id = fresh_copy_id ();
+        src;
+        dst;
+        fields;
+        reduce;
+        pairs = pairs_mode;
+      }
+  in
+  (* Reduction temporaries: one per (statement index, partition, operator).
+     Each is a fresh partition with the same subspaces as its base. *)
+  let extra_decls = ref [] in
+  let make_temp k pname op =
+    let p = part pname in
+    let tname =
+      Printf.sprintf "__red%d_%s_%s" k pname
+        (match op with
+        | Privilege.Sum -> "sum"
+        | Privilege.Prod -> "prod"
+        | Privilege.Min -> "min"
+        | Privilege.Max -> "max")
+    in
+    (* Recompiling the same program reuses the existing temporary — it has
+       the same geometry by construction. *)
+    if
+      List.mem_assoc tname prog.Program.decls
+      || List.mem_assoc tname !extra_decls
+    then tname
+    else begin
+      let spaces =
+        Array.init (Partition.color_count p) (fun c ->
+            (Partition.sub p c).Region.ispace)
+      in
+      let t =
+        Partition.of_explicit ~name:tname ~disjoint:false p.Partition.parent
+          spaces
+      in
+      Region_tree.register_partition prog.Program.tree t;
+      extra_decls := (tname, Types.Dpartition t) :: !extra_decls;
+      tname
+    end
+  in
+  (* Transform one statement into: fills, the launch itself, then apply and
+     write-propagation copies. *)
+  let transform k (u : Usage.stmt_use) =
+    match u.Usage.stmt with
+    | Types.Assign (v, e) -> [ Spmd.Prog.Assign (v, e) ]
+    | Types.Index_launch { space; launch }
+    | Types.Index_launch_reduce { space; launch; _ } ->
+        (* Group this statement's reductions by (partition, op). *)
+        let red_groups =
+          List.fold_left
+            (fun acc (p, f, op) ->
+              let key = (p, op) in
+              let fs = try List.assoc key acc with Not_found -> [] in
+              (key, fs @ [ f ]) :: List.remove_assoc key acc)
+            [] u.Usage.reduces
+        in
+        let temp_of = Hashtbl.create 4 in
+        List.iter
+          (fun ((p, op), _) ->
+            Hashtbl.replace temp_of (p, op) (make_temp k p op))
+          red_groups;
+        (* Rewrite reduce-privileged arguments to their temporaries. *)
+        let task = Program.find_task prog launch.Types.task in
+        let rargs =
+          List.mapi
+            (fun i rarg ->
+              match (rarg, Task.reduces_param task i) with
+              | Types.Part (p, Types.Id), Some op ->
+                  Types.Part (Hashtbl.find temp_of (p, op), Types.Id)
+              | (Types.Part _ | Types.Whole _), _ -> rarg)
+            launch.Types.rargs
+        in
+        let launch = { launch with Types.rargs } in
+        let fills =
+          List.map
+            (fun ((p, op), fields) ->
+              Spmd.Prog.Fill
+                { part = Hashtbl.find temp_of (p, op); fields; op })
+            red_groups
+        in
+        let the_launch =
+          match u.Usage.stmt with
+          | Types.Index_launch _ -> Spmd.Prog.Launch { space; launch }
+          | Types.Index_launch_reduce { var; op; _ } ->
+              Spmd.Prog.Launch_collective { space; launch; var; op }
+          | _ -> assert false
+        in
+        (* Reduction-apply copies: home partition first (all reduced
+           fields), then aliased users. *)
+        let apply_copies =
+          List.concat_map
+            (fun ((p, op), fields) ->
+              let temp = Hashtbl.find temp_of (p, op) in
+              let home =
+                mk_copy ~reduce:op ~src:(Spmd.Prog.Opart temp)
+                  ~dst:(Spmd.Prog.Opart p) fields
+              in
+              let others =
+                List.filter_map
+                  (fun q ->
+                    if q = p || not (aliased p q) then None
+                    else
+                      match dst_fields q fields with
+                      | [] -> None
+                      | fl ->
+                          Some
+                            (mk_copy ~reduce:op ~src:(Spmd.Prog.Opart temp)
+                               ~dst:(Spmd.Prog.Opart q) fl))
+                  used
+              in
+              home :: others)
+            red_groups
+        in
+        (* Write-propagation copies (Fig. 4a line 9): writes to [p] reach
+           every aliased used partition. *)
+        let write_groups =
+          List.fold_left
+            (fun acc (p, f) ->
+              let fs = try List.assoc p acc with Not_found -> [] in
+              (p, fs @ [ f ]) :: List.remove_assoc p acc)
+            [] u.Usage.writes
+        in
+        let prop_copies =
+          List.concat_map
+            (fun (p, fields) ->
+              List.filter_map
+                (fun q ->
+                  if q = p || not (aliased p q) then None
+                  else
+                    match dst_fields q fields with
+                    | [] -> None
+                    | fl ->
+                        Some
+                          (mk_copy ~src:(Spmd.Prog.Opart p)
+                             ~dst:(Spmd.Prog.Opart q) fl))
+                used)
+            write_groups
+        in
+        fills @ [ the_launch ] @ apply_copies @ prop_copies
+    | Types.Single_launch _ | Types.For_time _ | Types.If _ ->
+        invalid_arg "Replicate: statement not eligible for replication"
+  in
+  let loop_body = List.concat (List.mapi transform uses) in
+  (* Initialization: every used partition starts as a copy of its parent
+     region's data (Fig. 4a lines 2-4). *)
+  let init =
+    List.filter_map
+      (fun p ->
+        match Usage.all_fields uses p with
+        | [] -> None
+        | fields ->
+            Some
+              (mk_copy
+                 ~src:(Spmd.Prog.Oregion (root_region_name prog (part p)))
+                 ~dst:(Spmd.Prog.Opart p) fields))
+      used
+  in
+  (* Finalization: written and reduced partitions flow back (lines 14-15).
+     Aliased readers hold no data of their own — their contents mirror some
+     written partition — so only writers copy back. *)
+  let finalize =
+    List.filter_map
+      (fun p ->
+        let written =
+          List.concat_map
+            (fun u ->
+              List.filter_map
+                (fun (q, f) -> if q = p then Some f else None)
+                u.Usage.writes
+              @ List.filter_map
+                  (fun (q, f, _) -> if q = p then Some f else None)
+                  u.Usage.reduces)
+            uses
+        in
+        let written =
+          List.fold_left
+            (fun acc f ->
+              if List.exists (Field.equal f) acc then acc else acc @ [ f ])
+            [] written
+        in
+        match written with
+        | [] -> None
+        | fields ->
+            Some
+              (mk_copy ~src:(Spmd.Prog.Opart p)
+                 ~dst:(Spmd.Prog.Oregion (root_region_name prog (part p)))
+                 fields))
+      used
+  in
+  let prog =
+    { prog with Program.decls = prog.Program.decls @ List.rev !extra_decls }
+  in
+  { prog; init; loop_body; finalize }

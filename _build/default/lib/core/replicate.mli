@@ -1,0 +1,37 @@
+(** Data replication (paper §3.1) and region reductions (§4.3).
+
+    Rewrites the body of a control-replicated loop so that every partition
+    has its own storage:
+
+    - initialization copies from each parent region into every used
+      partition before the loop, and finalization copies from every written
+      partition back after it (Fig. 4a lines 2–4 and 14–15);
+    - after every statement writing a partition [P], copies from [P] to
+      each {e aliased} partition also used in the block — partitions
+      provably disjoint by the region-tree analysis get no copies;
+    - reduce-privileged arguments are redirected to fresh temporary
+      partitions initialized to the operator identity, followed by
+      reduction-apply copies to the home partition and every aliased user;
+    - scalar reductions become dynamic collectives (§4.4).
+
+    Copies carry exactly the fields their destination observes (reads,
+    writes, or reduced fields — a reduction needs an up-to-date base to
+    apply onto, and written or reduced replicas flow back at finalization).
+    The §3.2 copy placement optimization itself lives in {!Placement}. *)
+
+type result = {
+  prog : Ir.Program.t; (* input program extended with temporary partitions *)
+  init : Spmd.Prog.instr list;
+  loop_body : Spmd.Prog.instr list; (* no synchronization yet *)
+  finalize : Spmd.Prog.instr list;
+}
+
+val block :
+  prog:Ir.Program.t ->
+  pairs_mode:[ `Sparse | `Dense ] ->
+  hierarchical:bool ->
+  fresh_copy_id:(unit -> int) ->
+  Ir.Types.stmt list ->
+  result
+(** The statements must already satisfy {!Pipeline} eligibility (index
+    launches with identity projections, scalar assignments). *)

@@ -1,0 +1,71 @@
+let insert ~prog ~mode instrs =
+  let arr = Array.of_list instrs in
+  let n = Array.length arr in
+  (* Instructions to emit before / after each original position. *)
+  let before = Array.make n [] and after = Array.make n [] in
+  let add_before k i = before.(k) <- before.(k) @ [ i ]
+  and add_after k i = after.(k) <- after.(k) @ [ i ] in
+  let credits = ref [] in
+  (* First pass: barriers and awaits. Releases are placed in a second pass
+     so that a Release landing after a Copy instruction always follows that
+     copy's Await — a consumer must have applied incoming data before
+     granting the next overwrite (the copy-as-last-user case can otherwise
+     put the Release first when the user sits later in the body). *)
+  Array.iteri
+    (fun k instr ->
+      match instr with
+      | Spmd.Prog.Copy c ->
+          let id = c.Spmd.Prog.copy_id in
+          if mode = `Barrier then begin
+            add_before k Spmd.Prog.Barrier;
+            add_after k Spmd.Prog.Barrier
+          end;
+          (* Consumers synchronise right after the producer issues. *)
+          add_after k (Spmd.Prog.Await id)
+      | _ -> ())
+    arr;
+  Array.iteri
+    (fun k instr ->
+      match instr with
+      | Spmd.Prog.Copy c -> (
+          let id = c.Spmd.Prog.copy_id in
+          (* Last user of the destination in cyclic order from the copy:
+             positions k+1..n-1 first, then 0..k-1 wrapping into the next
+             iteration. *)
+          match c.Spmd.Prog.dst with
+          | Spmd.Prog.Oregion _ -> add_after k (Spmd.Prog.Release id)
+          | Spmd.Prog.Opart dp ->
+              let is_user j =
+                j <> k
+                && Placement.uses_partition prog dp c.Spmd.Prog.fields arr.(j)
+              in
+              let last_user =
+                let wrapped = ref None in
+                for j = 0 to k - 1 do
+                  if is_user j then wrapped := Some j
+                done;
+                match !wrapped with
+                | Some j -> Some j
+                | None ->
+                    let tail = ref None in
+                    for j = k + 1 to n - 1 do
+                      if is_user j then tail := Some j
+                    done;
+                    !tail
+              in
+              (match last_user with
+              | Some j ->
+                  add_after j (Spmd.Prog.Release id);
+                  (* A Release preceding its copy in program order grants
+                     this iteration's credit itself; starting with one more
+                     would let the copy overrun a consumer still using the
+                     previous iteration's data. *)
+                  if j < k then credits := (id, 0) :: !credits
+              | None ->
+                  (* Nobody uses the destination inside the loop (the data
+                     is only for finalization): release immediately. *)
+                  add_after k (Spmd.Prog.Release id)))
+      | _ -> ())
+    arr;
+  ( List.concat (List.init n (fun k -> before.(k) @ (arr.(k) :: after.(k)))),
+    !credits )

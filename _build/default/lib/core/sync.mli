@@ -1,0 +1,28 @@
+(** Synchronization insertion (paper §3.4).
+
+    Copies are issued by the producer shard; consumers must (a) not read a
+    destination before the copy lands — read-after-write — and (b) grant
+    the next occurrence of the copy permission to overwrite data they are
+    still using — write-after-read.
+
+    In point-to-point mode ([`P2p]) the pass inserts, per copy: an [Await]
+    immediately after it (consumers take the incoming tokens and apply
+    staged reduction payloads) and a [Release] after the {e last} user of
+    the destination in cyclic body order starting from the copy — the user
+    whose completion makes the next iteration's copy safe. Channels are
+    per-intersection-pair, so only shards that actually exchange data
+    synchronise.
+
+    In barrier mode ([`Barrier], Fig. 4c) each copy is additionally
+    bracketed by global barriers, the naive scheme whose cost the
+    point-to-point refinement removes. Await/Release are kept — they are
+    what applies reduction payloads — but never block after a barrier. *)
+
+val insert :
+  prog:Ir.Program.t ->
+  mode:[ `P2p | `Barrier ] ->
+  Spmd.Prog.instr list ->
+  Spmd.Prog.instr list * (int * int) list
+(** Returns the instrumented body and the initial write-after-read credit
+    of each copy whose Release precedes it in program order (credit 0;
+    all others default to 1). *)

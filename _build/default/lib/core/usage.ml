@@ -1,0 +1,67 @@
+open Regions
+open Ir
+
+type stmt_use = {
+  stmt : Types.stmt;
+  space : string option;
+  reads : (string * Field.t) list;
+  writes : (string * Field.t) list;
+  reduces : (string * Field.t * Privilege.redop) list;
+}
+
+let of_stmt prog stmt =
+  match stmt with
+  | Types.Index_launch { space; launch }
+  | Types.Index_launch_reduce { space; launch; _ } ->
+      let accs = Summary.launch_accesses prog launch in
+      {
+        stmt;
+        space = Some space;
+        reads = Summary.reads accs;
+        writes = Summary.writes accs;
+        reduces = Summary.reduces accs;
+      }
+  | Types.Assign _ | Types.Single_launch _ | Types.For_time _ | Types.If _ ->
+      { stmt; space = None; reads = []; writes = []; reduces = [] }
+
+let of_block prog stmts = List.map (of_stmt prog) stmts
+
+let used_partitions uses =
+  let seen = ref [] in
+  let add p = if not (List.mem p !seen) then seen := p :: !seen in
+  List.iter
+    (fun u ->
+      List.iter (fun (p, _) -> add p) u.reads;
+      List.iter (fun (p, _) -> add p) u.writes;
+      List.iter (fun (p, _, _) -> add p) u.reduces)
+    uses;
+  List.rev !seen
+
+let dedup_fields fl =
+  List.fold_left
+    (fun acc f -> if List.exists (Field.equal f) acc then acc else acc @ [ f ])
+    [] fl
+
+let use_fields uses part =
+  dedup_fields
+    (List.concat_map
+       (fun u ->
+         List.filter_map
+           (fun (p, f) -> if p = part then Some f else None)
+           (u.reads @ u.writes))
+       uses)
+
+let all_fields uses part =
+  dedup_fields
+    (List.concat_map
+       (fun u ->
+         List.filter_map
+           (fun (p, f) -> if p = part then Some f else None)
+           (u.reads @ u.writes
+           @ List.map (fun (p, f, _) -> (p, f)) u.reduces))
+       uses)
+
+let reads_or_writes u part fields =
+  List.exists
+    (fun (p, f) -> p = part && List.exists (Field.equal f) fields)
+    (u.reads @ u.writes)

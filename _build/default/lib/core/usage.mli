@@ -1,0 +1,28 @@
+(** Per-statement partition usage inside a candidate block, at the
+    granularity control replication reasons at: (partition, field, mode). *)
+
+type stmt_use = {
+  stmt : Ir.Types.stmt;
+  space : string option; (* launch space, for launches *)
+  reads : (string * Regions.Field.t) list;
+  writes : (string * Regions.Field.t) list;
+  reduces : (string * Regions.Field.t * Regions.Privilege.redop) list;
+}
+
+val of_stmt : Ir.Program.t -> Ir.Types.stmt -> stmt_use
+
+val of_block : Ir.Program.t -> Ir.Types.stmt list -> stmt_use list
+
+val used_partitions : stmt_use list -> string list
+(** Partitions appearing in any launch argument, in first-use order. *)
+
+val use_fields : stmt_use list -> string -> Regions.Field.t list
+(** Fields of a partition accessed with read or write (not reduce-only)
+    privileges anywhere in the block. *)
+
+val all_fields : stmt_use list -> string -> Regions.Field.t list
+(** Fields accessed with any privilege. *)
+
+val reads_or_writes : stmt_use -> string -> Regions.Field.t list -> bool
+(** Does this statement read or write any of the given fields of the given
+    partition? (The "user" test for synchronization placement, §3.4.) *)

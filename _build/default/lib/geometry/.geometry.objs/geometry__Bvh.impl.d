@@ -1,0 +1,1 @@
+lib/geometry/bvh.ml: Array Int Point Rect

@@ -1,0 +1,1 @@
+lib/geometry/bvh.mli: Rect

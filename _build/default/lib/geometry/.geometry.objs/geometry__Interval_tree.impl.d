@@ -1,0 +1,1 @@
+lib/geometry/interval_tree.ml: Array Interval

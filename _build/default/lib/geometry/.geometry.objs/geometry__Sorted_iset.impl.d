@@ -1,0 +1,1 @@
+lib/geometry/sorted_iset.ml: Array Format Int Interval List Rect

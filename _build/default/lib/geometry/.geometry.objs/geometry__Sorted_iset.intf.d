@@ -1,0 +1,1 @@
+lib/geometry/sorted_iset.mli: Format Interval

@@ -1,0 +1,71 @@
+type 'a node =
+  | Leaf of (Rect.t * 'a) array
+  | Node of { bbox : Rect.t; left : 'a node; right : 'a node }
+
+type 'a t = { root : 'a node option; size : int }
+
+let leaf_capacity = 4
+
+let bbox_of_node = function
+  | Leaf items ->
+      let r0 = fst items.(0) in
+      Array.fold_left (fun b (r, _) -> Rect.union_bbox b r) r0 items
+  | Node { bbox; _ } -> bbox
+
+let size t = t.size
+
+let build pairs =
+  let arr = Array.of_list pairs in
+  let n = Array.length arr in
+  (* [go lo hi] builds a node over arr.(lo..hi-1), partitioning in place. *)
+  let rec go lo hi =
+    if hi - lo <= leaf_capacity then Leaf (Array.sub arr lo (hi - lo))
+    else begin
+      (* Choose the centroid-bbox longest axis and split at the median by
+         sorting the slice along that axis. *)
+      let c0 = Rect.center (fst arr.(lo)) in
+      let cb_lo = ref c0 and cb_hi = ref c0 in
+      for i = lo to hi - 1 do
+        let c = Rect.center (fst arr.(i)) in
+        cb_lo := Point.min_pt !cb_lo c;
+        cb_hi := Point.max_pt !cb_hi c
+      done;
+      let d = Point.dim c0 in
+      let axis = ref 0 and best = ref min_int in
+      for i = 0 to d - 1 do
+        let span = !cb_hi.(i) - !cb_lo.(i) in
+        if span > !best then begin
+          best := span;
+          axis := i
+        end
+      done;
+      let slice = Array.sub arr lo (hi - lo) in
+      Array.sort
+        (fun (a, _) (b, _) ->
+          Int.compare (Rect.center a).(!axis) (Rect.center b).(!axis))
+        slice;
+      Array.blit slice 0 arr lo (hi - lo);
+      let mid = (lo + hi) / 2 in
+      let left = go lo mid and right = go mid hi in
+      let bbox = Rect.union_bbox (bbox_of_node left) (bbox_of_node right) in
+      Node { bbox; left; right }
+    end
+  in
+  { root = (if n = 0 then None else Some (go 0 n)); size = n }
+
+let iter_overlapping t q f =
+  let rec go = function
+    | Leaf items ->
+        Array.iter (fun (r, p) -> if Rect.overlap r q then f r p) items
+    | Node { bbox; left; right } ->
+        if Rect.overlap bbox q then begin
+          go left;
+          go right
+        end
+  in
+  match t.root with None -> () | Some n -> go n
+
+let query t q =
+  let acc = ref [] in
+  iter_overlapping t q (fun r p -> acc := (r, p) :: !acc);
+  !acc

@@ -1,0 +1,19 @@
+(** Static bounding volume hierarchy over rectangles.
+
+    Used by the shallow-intersection phase of the copy intersection
+    optimization (paper §3.3) for structured partitions: given the bounding
+    rectangles of all subregions, find the pairs that may overlap without
+    comparing all pairs. *)
+
+type 'a t
+
+val build : (Rect.t * 'a) list -> 'a t
+(** Median split on the longest axis of the centroid bounding box; leaves
+    hold up to a small constant number of rectangles. *)
+
+val size : 'a t -> int
+
+val query : 'a t -> Rect.t -> (Rect.t * 'a) list
+(** All stored pairs whose rectangle overlaps the query rectangle. *)
+
+val iter_overlapping : 'a t -> Rect.t -> (Rect.t -> 'a -> unit) -> unit

@@ -1,0 +1,21 @@
+type t = { lo : int; hi : int }
+
+let make lo hi =
+  if lo > hi then
+    invalid_arg (Printf.sprintf "Interval.make: %d > %d" lo hi);
+  { lo; hi }
+
+let length i = i.hi - i.lo + 1
+let overlap a b = a.lo <= b.hi && b.lo <= a.hi
+
+let intersect a b =
+  if overlap a b then Some { lo = max a.lo b.lo; hi = min a.hi b.hi }
+  else None
+
+let contains i x = i.lo <= x && x <= i.hi
+
+let compare a b =
+  let c = Int.compare a.lo b.lo in
+  if c <> 0 then c else Int.compare a.hi b.hi
+
+let pp ppf i = Format.fprintf ppf "[%d..%d]" i.lo i.hi

@@ -1,0 +1,13 @@
+(** Closed integer intervals [lo..hi], used by {!Interval_tree}. *)
+
+type t = { lo : int; hi : int }
+
+val make : int -> int -> t
+(** Raises [Invalid_argument] if [lo > hi]. *)
+
+val length : t -> int
+val overlap : t -> t -> bool
+val intersect : t -> t -> t option
+val contains : t -> int -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit

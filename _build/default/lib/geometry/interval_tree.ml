@@ -1,0 +1,55 @@
+(* A balanced BST keyed by interval low endpoint, augmented with the maximum
+   high endpoint of each subtree. Built once from a sorted array, so the tree
+   is perfectly balanced and queries are O(log n + k). *)
+
+type 'a node = {
+  ival : Interval.t;
+  payload : 'a;
+  max_hi : int;
+  left : 'a node option;
+  right : 'a node option;
+}
+
+type 'a t = { root : 'a node option; size : int }
+
+let size t = t.size
+
+let build pairs =
+  let arr = Array.of_list pairs in
+  Array.sort (fun (a, _) (b, _) -> Interval.compare a b) arr;
+  let rec go lo hi =
+    if lo > hi then None
+    else
+      let mid = (lo + hi) / 2 in
+      let ival, payload = arr.(mid) in
+      let left = go lo (mid - 1) and right = go (mid + 1) hi in
+      let max_hi =
+        let m = ival.Interval.hi in
+        let m = match left with Some n -> max m n.max_hi | None -> m in
+        match right with Some n -> max m n.max_hi | None -> m
+      in
+      Some { ival; payload; max_hi; left; right }
+  in
+  { root = go 0 (Array.length arr - 1); size = Array.length arr }
+
+let iter_overlapping t q f =
+  let rec go = function
+    | None -> ()
+    | Some n ->
+        (* Prune subtrees that cannot contain an overlapping interval: if
+           every interval below ends before q.lo, skip; if this node's low
+           endpoint is past q.hi, the right subtree (larger lows) is too. *)
+        if n.max_hi >= q.Interval.lo then begin
+          go n.left;
+          if Interval.overlap n.ival q then f n.ival n.payload;
+          if n.ival.Interval.lo <= q.Interval.hi then go n.right
+        end
+  in
+  go t.root
+
+let query t q =
+  let acc = ref [] in
+  iter_overlapping t q (fun i p -> acc := (i, p) :: !acc);
+  !acc
+
+let stab t x = query t (Interval.make x x)

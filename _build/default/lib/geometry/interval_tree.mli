@@ -1,0 +1,22 @@
+(** Static augmented interval tree.
+
+    Used by the shallow-intersection phase of the copy intersection
+    optimization (paper §3.3) to find, among the subregions of an
+    unstructured partition, those whose index ranges overlap a query
+    interval in [O(log n + k)] instead of [O(n)]. The tree is built once
+    from a list of (interval, payload) pairs and is immutable. *)
+
+type 'a t
+
+val build : (Interval.t * 'a) list -> 'a t
+
+val size : 'a t -> int
+
+val query : 'a t -> Interval.t -> (Interval.t * 'a) list
+(** All stored pairs whose interval overlaps the query, in unspecified
+    order. *)
+
+val iter_overlapping : 'a t -> Interval.t -> (Interval.t -> 'a -> unit) -> unit
+
+val stab : 'a t -> int -> (Interval.t * 'a) list
+(** All pairs whose interval contains the given point. *)

@@ -1,0 +1,40 @@
+type t = int array
+
+let dim = Array.length
+
+let make1 a = [| a |]
+let make2 a b = [| a; b |]
+let make3 a b c = [| a; b; c |]
+
+let coord p i =
+  if i >= Array.length p then
+    invalid_arg (Printf.sprintf "Point: coordinate %d of %dd point" i (dim p));
+  p.(i)
+
+let x p = coord p 0
+let y p = coord p 1
+let z p = coord p 2
+
+let equal a b = a = b
+
+let compare (a : t) (b : t) = Stdlib.compare a b
+
+let map2 f a b =
+  if dim a <> dim b then invalid_arg "Point.map2: dimension mismatch";
+  Array.init (dim a) (fun i -> f a.(i) b.(i))
+
+let add = map2 ( + )
+let sub = map2 ( - )
+let min_pt = map2 min
+let max_pt = map2 max
+
+let zero d = Array.make d 0
+
+let pp ppf p =
+  Format.fprintf ppf "(%a)"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+       Format.pp_print_int)
+    (Array.to_list p)
+
+let to_string p = Format.asprintf "%a" pp p

@@ -1,0 +1,42 @@
+(** Integer lattice points of dimension 1, 2 or 3.
+
+    Points index elements of structured index spaces. The representation is a
+    plain [int array] of length [dim]; all operations assume operands have
+    equal dimension. *)
+
+type t = int array
+
+val dim : t -> int
+
+val make1 : int -> t
+val make2 : int -> int -> t
+val make3 : int -> int -> int -> t
+
+(** [x p] is the first coordinate of [p]; [y] and [z] the second and third.
+    Raises [Invalid_argument] if the point has too few dimensions. *)
+
+val x : t -> int
+val y : t -> int
+val z : t -> int
+
+val equal : t -> t -> bool
+
+(** Lexicographic order, coordinate 0 most significant. *)
+val compare : t -> t -> int
+
+val add : t -> t -> t
+val sub : t -> t -> t
+
+(** Coordinate-wise minimum / maximum. *)
+
+val min_pt : t -> t -> t
+val max_pt : t -> t -> t
+
+(** [map2 f a b] applies [f] coordinate-wise. *)
+val map2 : (int -> int -> int) -> t -> t -> t
+
+val zero : int -> t
+(** [zero d] is the origin of dimension [d]. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,114 @@
+type t = { lo : Point.t; hi : Point.t }
+
+let make lo hi =
+  let d = Point.dim lo in
+  if d <> Point.dim hi then invalid_arg "Rect.make: dimension mismatch";
+  if d = 0 then invalid_arg "Rect.make: zero-dimensional rectangle";
+  for i = 0 to d - 1 do
+    if lo.(i) > hi.(i) then
+      invalid_arg
+        (Printf.sprintf "Rect.make: empty on axis %d (%d > %d)" i lo.(i)
+           hi.(i))
+  done;
+  { lo; hi }
+
+let make1 lo hi = make (Point.make1 lo) (Point.make1 hi)
+
+let make2 ~lo:(x0, y0) ~hi:(x1, y1) =
+  make (Point.make2 x0 y0) (Point.make2 x1 y1)
+
+let make3 ~lo:(x0, y0, z0) ~hi:(x1, y1, z1) =
+  make (Point.make3 x0 y0 z0) (Point.make3 x1 y1 z1)
+
+let dim r = Point.dim r.lo
+
+let extent r i = r.hi.(i) - r.lo.(i) + 1
+
+let volume r =
+  let v = ref 1 in
+  for i = 0 to dim r - 1 do
+    v := !v * extent r i
+  done;
+  !v
+
+let equal a b = Point.equal a.lo b.lo && Point.equal a.hi b.hi
+
+let compare a b =
+  let c = Point.compare a.lo b.lo in
+  if c <> 0 then c else Point.compare a.hi b.hi
+
+let contains r p =
+  let d = dim r in
+  Point.dim p = d
+  &&
+  let rec go i = i >= d || (r.lo.(i) <= p.(i) && p.(i) <= r.hi.(i) && go (i + 1)) in
+  go 0
+
+let contains_rect r s = contains r s.lo && contains r s.hi
+
+let overlap a b =
+  let d = dim a in
+  let rec go i = i >= d || (a.lo.(i) <= b.hi.(i) && b.lo.(i) <= a.hi.(i) && go (i + 1)) in
+  dim b = d && go 0
+
+let intersect a b =
+  if not (overlap a b) then None
+  else Some (make (Point.max_pt a.lo b.lo) (Point.min_pt a.hi b.hi))
+
+let union_bbox a b = make (Point.min_pt a.lo b.lo) (Point.max_pt a.hi b.hi)
+
+let center r = Array.init (dim r) (fun i -> (r.lo.(i) + r.hi.(i)) / 2)
+
+let linearize r p =
+  if not (contains r p) then
+    invalid_arg
+      (Printf.sprintf "Rect.linearize: %s outside %s%s" (Point.to_string p)
+         (Point.to_string r.lo) (Point.to_string r.hi));
+  let k = ref 0 in
+  for i = 0 to dim r - 1 do
+    k := (!k * extent r i) + (p.(i) - r.lo.(i))
+  done;
+  !k
+
+let delinearize r k =
+  if k < 0 || k >= volume r then invalid_arg "Rect.delinearize: out of range";
+  let d = dim r in
+  let p = Array.make d 0 in
+  let k = ref k in
+  for i = d - 1 downto 0 do
+    let e = extent r i in
+    p.(i) <- r.lo.(i) + (!k mod e);
+    k := !k / e
+  done;
+  p
+
+let iter f r =
+  for k = 0 to volume r - 1 do
+    f (delinearize r k)
+  done
+
+let fold f init r =
+  let acc = ref init in
+  iter (fun p -> acc := f !acc p) r;
+  !acc
+
+let split_at r ~axis ~at =
+  if axis < 0 || axis >= dim r then invalid_arg "Rect.split_at: bad axis";
+  if at <= r.lo.(axis) || at > r.hi.(axis) then
+    invalid_arg "Rect.split_at: split point leaves an empty half";
+  let hi_left = Array.copy r.hi and lo_right = Array.copy r.lo in
+  hi_left.(axis) <- at - 1;
+  lo_right.(axis) <- at;
+  (make r.lo hi_left, make lo_right r.hi)
+
+let block_1d ~lo ~hi ~pieces ~index =
+  if pieces <= 0 then invalid_arg "Rect.block_1d: pieces <= 0";
+  if index < 0 || index >= pieces then invalid_arg "Rect.block_1d: bad index";
+  let n = hi - lo + 1 in
+  let q = n / pieces and r = n mod pieces in
+  let start = lo + (index * q) + min index r in
+  let len = q + if index < r then 1 else 0 in
+  if len <= 0 then None else Some (start, start + len - 1)
+
+let pp ppf r = Format.fprintf ppf "[%a..%a]" Point.pp r.lo Point.pp r.hi
+let to_string r = Format.asprintf "%a" pp r

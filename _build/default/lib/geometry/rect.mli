@@ -1,0 +1,60 @@
+(** Axis-aligned rectangles (boxes) with inclusive integer bounds.
+
+    A rectangle is the set of points [p] with [lo <= p <= hi] coordinate-wise.
+    Rectangles are never empty: constructors reject bounds with
+    [lo.(i) > hi.(i)]; operations that can produce an empty result (such as
+    {!intersect}) return an [option]. *)
+
+type t = private { lo : Point.t; hi : Point.t }
+
+val make : Point.t -> Point.t -> t
+(** Raises [Invalid_argument] if dimensions differ or any [lo.(i) > hi.(i)]. *)
+
+val make1 : int -> int -> t
+val make2 : lo:int * int -> hi:int * int -> t
+val make3 : lo:int * int * int -> hi:int * int * int -> t
+
+val dim : t -> int
+val volume : t -> int
+
+(** Extent along axis [i] (number of points). *)
+val extent : t -> int -> int
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val contains : t -> Point.t -> bool
+val contains_rect : t -> t -> bool
+val overlap : t -> t -> bool
+val intersect : t -> t -> t option
+
+val union_bbox : t -> t -> t
+(** Smallest rectangle containing both arguments. *)
+
+val center : t -> Point.t
+
+(** [linearize r p] is the row-major rank of [p] within [r] (coordinate 0
+    slowest-varying). [delinearize r k] inverts it. Raises
+    [Invalid_argument] when [p] is outside [r] or [k] outside
+    [0..volume r - 1]. *)
+
+val linearize : t -> Point.t -> int
+val delinearize : t -> int -> Point.t
+
+val iter : (Point.t -> unit) -> t -> unit
+(** Row-major iteration over all points. *)
+
+val fold : ('a -> Point.t -> 'a) -> 'a -> t -> 'a
+
+val split_at : t -> axis:int -> at:int -> t * t
+(** [split_at r ~axis ~at] splits into points with coordinate [< at] and
+    [>= at] along [axis]. Both halves must be non-empty. *)
+
+val block_1d : lo:int -> hi:int -> pieces:int -> index:int -> (int * int) option
+(** Quotient-remainder blocking of the inclusive range [lo..hi] into [pieces]
+    nearly equal pieces; piece [index] (0-based) as inclusive bounds, or
+    [None] when that piece is empty. First [(n mod pieces)] pieces get one
+    extra element. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

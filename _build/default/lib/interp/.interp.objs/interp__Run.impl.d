@@ -1,0 +1,1 @@
+lib/interp/run.ml: Accessor Array Check Eval Hashtbl Ir List Partition Physical Printf Privilege Program Random Region Region_tree Regions Task Taskpool Types

@@ -1,0 +1,1 @@
+lib/interp/run.mli: Ir Regions Taskpool

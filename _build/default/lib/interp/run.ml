@@ -1,0 +1,202 @@
+open Regions
+open Ir
+
+type context = {
+  prog : Program.t;
+  roots : (int, Physical.t) Hashtbl.t; (* root region id -> instance *)
+  env : Eval.env;
+}
+
+let create (prog : Program.t) =
+  let roots = Hashtbl.create 8 in
+  List.iter
+    (fun (_, d) ->
+      match d with
+      | Types.Dregion r ->
+          let root = Region_tree.root_of prog.Program.tree r in
+          if not (Hashtbl.mem roots root.Region.id) then
+            Hashtbl.replace roots root.Region.id (Physical.create root)
+      | Types.Dpartition _ | Types.Dspace _ | Types.Dscalar _ -> ())
+    prog.Program.decls;
+  { prog; roots; env = Eval.env_of_list (Program.initial_scalars prog) }
+
+let root_instance_of ctx (r : Region.t) =
+  let root = Region_tree.root_of ctx.prog.Program.tree r in
+  match Hashtbl.find_opt ctx.roots root.Region.id with
+  | Some inst -> inst
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Interp: region %s has no backing instance"
+           r.Region.name)
+
+let instance ctx name = root_instance_of ctx (Program.find_region ctx.prog name)
+let region_instance = root_instance_of
+let env ctx = ctx.env
+
+let scalars ctx =
+  List.sort compare (Eval.bindings ctx.env)
+
+let scalar ctx n = Eval.get ctx.env n
+
+type order = [ `Seq | `Random of int | `Pool of Taskpool.Pool.t ]
+
+let shuffle seed a =
+  let st = Random.State.make [| seed; Array.length a |] in
+  for i = Array.length a - 1 downto 1 do
+    let j = Random.State.int st (i + 1) in
+    let t = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- t
+  done
+
+(* Everything needed to run color [c] of an index launch: build accessors
+   against root instances (shared-memory semantics), except reduce args,
+   which target a caller-provided temporary. *)
+let run_color ctx (task : Task.t) (launch : Types.launch) ~sargs
+    ~(reduction_temps : Physical.t option array array) c =
+  let accessors =
+    Array.of_list
+      (List.mapi
+         (fun i rarg ->
+           let sub =
+             match rarg with
+             | Types.Part (pname, proj) ->
+                 let p = Program.find_partition ctx.prog pname in
+                 let color =
+                   match proj with Types.Id -> c | Types.Fn (_, f) -> f c
+                 in
+                 Partition.sub p color
+             | Types.Whole rname -> Program.find_region ctx.prog rname
+           in
+           match Task.reduces_param task i with
+           | Some _ ->
+               let temp =
+                 match reduction_temps.(c).(i) with
+                 | Some t -> t
+                 | None -> assert false
+               in
+               Accessor.make temp ~space:sub.Region.ispace
+                 (Task.param_privs task i)
+           | None ->
+               Accessor.make (root_instance_of ctx sub)
+                 ~space:sub.Region.ispace (Task.param_privs task i))
+         launch.Types.rargs)
+  in
+  task.Task.kernel accessors sargs
+
+(* Per-color temporaries for reduce-privileged parameters, so results do
+   not depend on execution order (Legion's reduction instances, §4.3). *)
+let make_reduction_temps ctx (task : Task.t) (launch : Types.launch) n =
+  Array.init n (fun c ->
+      Array.of_list
+        (List.mapi
+           (fun i rarg ->
+             match Task.reduces_param task i with
+             | None -> None
+             | Some op ->
+                 let sub =
+                   match rarg with
+                   | Types.Part (pname, proj) ->
+                       let p = Program.find_partition ctx.prog pname in
+                       let color =
+                         match proj with
+                         | Types.Id -> c
+                         | Types.Fn (_, f) -> f c
+                       in
+                       Partition.sub p color
+                   | Types.Whole rname -> Program.find_region ctx.prog rname
+                 in
+                 Some
+                   (Physical.create_over
+                      ~init:(Privilege.identity_of op)
+                      sub.Region.ispace
+                      (Task.reduced_fields task i)))
+           launch.Types.rargs))
+
+let fold_reduction_temps ctx (task : Task.t) (launch : Types.launch)
+    ~(reduction_temps : Physical.t option array array) =
+  (* Ascending color order keeps floating-point folding deterministic. *)
+  Array.iter
+    (fun temps ->
+      List.iteri
+        (fun i rarg ->
+          match (Task.reduces_param task i, temps.(i)) with
+          | Some op, Some temp ->
+              let dst =
+                match rarg with
+                | Types.Part (pname, _) ->
+                    root_instance_of ctx
+                      (Program.find_partition ctx.prog pname).Partition.parent
+                | Types.Whole rname ->
+                    root_instance_of ctx (Program.find_region ctx.prog rname)
+              in
+              Physical.reduce_into ~op ~src:temp ~dst ()
+          | _ -> ())
+        launch.Types.rargs)
+    reduction_temps
+
+let index_launch ?(order = `Seq) ctx ~space (launch : Types.launch) =
+  let n = Program.find_space ctx.prog space in
+  let task = Program.find_task ctx.prog launch.Types.task in
+  let sargs = Array.map (Eval.sexpr ctx.env) launch.Types.sargs in
+  let reduction_temps = make_reduction_temps ctx task launch n in
+  let results = Array.make n 0. in
+  (match order with
+  | `Seq ->
+      for c = 0 to n - 1 do
+        results.(c) <- run_color ctx task launch ~sargs ~reduction_temps c
+      done
+  | `Random seed ->
+      let colors = Array.init n (fun c -> c) in
+      shuffle seed colors;
+      Array.iter
+        (fun c ->
+          results.(c) <- run_color ctx task launch ~sargs ~reduction_temps c)
+        colors
+  | `Pool pool ->
+      Taskpool.Pool.parallel_for pool ~lo:0 ~hi:(n - 1) (fun c ->
+          results.(c) <- run_color ctx task launch ~sargs ~reduction_temps c));
+  fold_reduction_temps ctx task launch ~reduction_temps;
+  results
+
+let single_launch ctx (launch : Types.launch) =
+  let task = Program.find_task ctx.prog launch.Types.task in
+  let sargs = Array.map (Eval.sexpr ctx.env) launch.Types.sargs in
+  let reduction_temps = make_reduction_temps ctx task launch 1 in
+  let r = run_color ctx task launch ~sargs ~reduction_temps 0 in
+  fold_reduction_temps ctx task launch ~reduction_temps;
+  r
+
+let rec exec_stmt ?order ctx = function
+  | Types.Index_launch { space; launch } ->
+      ignore (index_launch ?order ctx ~space launch)
+  | Types.Index_launch_reduce { space; launch; var; op } ->
+      let results = index_launch ?order ctx ~space launch in
+      (* Seed the fold with the operator identity: the reduction replaces
+         the previous value rather than accumulating into it, matching
+         Regent's [var = reduce(...)] and the collective in §4.4. *)
+      let v =
+        Array.fold_left
+          (Privilege.apply_redop op)
+          (Privilege.identity_of op)
+          results
+      in
+      Eval.set ctx.env var v
+  | Types.Single_launch { launch } -> ignore (single_launch ctx launch)
+  | Types.Assign (v, e) -> Eval.set ctx.env v (Eval.sexpr ctx.env e)
+  | Types.For_time { var; count; body } ->
+      for t = 0 to count - 1 do
+        Eval.set ctx.env var (float_of_int t);
+        exec_stmts ?order ctx body
+      done
+  | Types.If { test; then_; else_ } ->
+      if Eval.stest ctx.env test then exec_stmts ?order ctx then_
+      else exec_stmts ?order ctx else_
+
+and exec_stmts ?order ctx stmts = List.iter (exec_stmt ?order ctx) stmts
+
+let run_stmts ?order ctx stmts = exec_stmts ?order ctx stmts
+
+let run ?order ctx =
+  Check.check_exn ctx.prog;
+  exec_stmts ?order ctx ctx.prog.Program.body

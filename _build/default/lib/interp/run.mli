@@ -1,0 +1,47 @@
+(** Functional execution of implicit programs under shared-memory region
+    semantics (paper §3: "a subregion is literally a subset of its parent" —
+    one physical instance per root region, with every subregion argument a
+    privilege-checked view into it).
+
+    This is the reference semantics control replication must preserve: the
+    equivalence tests compare {!Spmd} execution against [run ~order:`Seq].
+
+    Reduce-privileged arguments always go through per-color temporary
+    instances folded back in color order, so results are bitwise identical
+    across all execution orders — including [`Pool], which runs the
+    independent iterations of each index launch on a domain pool. *)
+
+type context
+
+val create : Ir.Program.t -> context
+(** Allocates one zero-filled instance per root region and initialises the
+    scalar environment. *)
+
+val instance : context -> string -> Regions.Physical.t
+(** The instance backing a named region ({e its root's} instance — named
+    subregions share their root's storage). Use it to set up inputs and to
+    read results. *)
+
+val region_instance : context -> Regions.Region.t -> Regions.Physical.t
+(** Like {!instance}, for a region value (the root's instance). *)
+
+val env : context -> Ir.Eval.env
+(** The mutable scalar environment (the SPMD executor replicates it into
+    per-shard copies and writes results back). *)
+
+val scalars : context -> (string * float) list
+val scalar : context -> string -> float
+
+type order =
+  [ `Seq  (** colors in ascending order *)
+  | `Random of int  (** a seeded shuffle of each launch's colors *)
+  | `Pool of Taskpool.Pool.t  (** iterations in parallel on the pool *) ]
+
+val run : ?order:order -> context -> unit
+(** Executes the whole program body. Raises on privilege violations or
+    checker-detectable malformations ({!Ir.Check} is run first). *)
+
+val run_stmts : ?order:order -> context -> Ir.Types.stmt list -> unit
+(** Executes given statements in the context (no checking) — used by the
+    SPMD executor for the sequential prologue/epilogue around replicated
+    blocks. *)

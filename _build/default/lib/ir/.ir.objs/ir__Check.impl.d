@@ -1,0 +1,1 @@
+lib/ir/check.ml: Array Field Format List Partition Printf Privilege Program Region Regions String Task Types

@@ -1,0 +1,1 @@
+lib/ir/check.mli: Format Program

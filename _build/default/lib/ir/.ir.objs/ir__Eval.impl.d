@@ -1,0 +1,1 @@
+lib/ir/eval.ml: Float Hashtbl List Printf Types

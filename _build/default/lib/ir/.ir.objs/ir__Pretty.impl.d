@@ -1,0 +1,1 @@
+lib/ir/pretty.ml: Array Format List Program Regions Types

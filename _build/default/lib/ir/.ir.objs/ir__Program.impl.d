@@ -1,0 +1,1 @@
+lib/ir/program.ml: Array List Printf Region Region_tree Regions Task Types

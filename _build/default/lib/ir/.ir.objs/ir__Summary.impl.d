@@ -1,0 +1,1 @@
+lib/ir/summary.ml: Field List Printf Privilege Program Regions Task Types

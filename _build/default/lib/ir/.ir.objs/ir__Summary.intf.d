@@ -1,0 +1,1 @@
+lib/ir/summary.mli: Program Regions Types

@@ -1,0 +1,1 @@
+lib/ir/task.ml: Accessor Array List Printf Privilege Regions

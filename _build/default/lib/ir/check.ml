@@ -1,0 +1,182 @@
+open Regions
+
+type error = { where : string; what : string }
+
+let pp_error ppf e = Format.fprintf ppf "%s: %s" e.where e.what
+
+let check (prog : Program.t) =
+  let errors = ref [] in
+  let err where fmt =
+    Format.kasprintf (fun what -> errors := { where; what } :: !errors) fmt
+  in
+  let scalars = ref (Program.scalar_names prog) in
+  let rec check_sexpr where loop_vars = function
+    | Types.Sconst _ -> ()
+    | Types.Svar n ->
+        if not (List.mem n !scalars || List.mem n loop_vars) then
+          err where "unbound scalar %s" n
+    | Types.Sneg e -> check_sexpr where loop_vars e
+    | Types.Sadd (a, b)
+    | Types.Ssub (a, b)
+    | Types.Smul (a, b)
+    | Types.Sdiv (a, b)
+    | Types.Smin (a, b)
+    | Types.Smax (a, b) ->
+        check_sexpr where loop_vars a;
+        check_sexpr where loop_vars b
+  in
+  let task_of_launch where (l : Types.launch) =
+    match List.assoc_opt l.Types.task prog.Program.tasks with
+    | None ->
+        err where "unknown task %s" l.Types.task;
+        None
+    | Some task ->
+        if List.length l.Types.rargs <> Task.arity task then
+          err where "task %s expects %d region arguments, got %d"
+            l.Types.task (Task.arity task)
+            (List.length l.Types.rargs);
+        if Array.length l.Types.sargs <> task.Task.nscalars then
+          err where "task %s expects %d scalar arguments, got %d"
+            l.Types.task task.Task.nscalars
+            (Array.length l.Types.sargs);
+        Some task
+  in
+  let check_priv_fields where task i (parent : Region.t) =
+    List.iter
+      (fun (pr : Privilege.t) ->
+        if not (Region.has_field parent pr.Privilege.field) then
+          err where "task %s parameter %d: field %s not in region %s"
+            task i
+            (Field.name pr.Privilege.field)
+            parent.Region.name)
+  in
+  let check_index_launch where loop_vars (space : string) (l : Types.launch) =
+    let space_size =
+      match Program.find_decl prog space with
+      | Some (Types.Dspace n) -> Some n
+      | Some _ ->
+          err where "%s is not an index space" space;
+          None
+      | None ->
+          err where "unknown index space %s" space;
+          None
+    in
+    Array.iter (check_sexpr where loop_vars) l.Types.sargs;
+    match task_of_launch where l with
+    | None -> ()
+    | Some task ->
+        List.iteri
+          (fun i rarg ->
+            if i >= Task.arity task then ()
+              (* arity mismatch already reported *)
+            else
+            match rarg with
+            | Types.Whole r ->
+                err where
+                  "whole-region argument %s in an index launch (arguments \
+                   must be p[f(i)])"
+                  r
+            | Types.Part (pname, proj) -> (
+                match Program.find_decl prog pname with
+                | Some (Types.Dpartition p) -> (
+                    check_priv_fields where l.Types.task i
+                      p.Partition.parent
+                      (Task.param_privs task i);
+                    (match space_size with
+                    | Some n when Partition.color_count p < n ->
+                        err where
+                          "partition %s has %d colors but launch space %s \
+                           has %d points"
+                          pname
+                          (Partition.color_count p)
+                          space n
+                    | _ -> ());
+                    if Task.writes_param task i then begin
+                      if proj <> Types.Id then
+                        err where
+                          "write-privileged argument %d of %s uses a \
+                           non-identity projection; writes require p[i]"
+                          i l.Types.task;
+                      if p.Partition.disjointness <> Partition.Disjoint then
+                        err where
+                          "write-privileged argument %s of %s is an aliased \
+                           partition; iterations would not be independent"
+                          pname l.Types.task
+                    end)
+                | Some _ -> err where "%s is not a partition" pname
+                | None -> err where "unknown partition %s" pname))
+          l.Types.rargs
+  in
+  let check_single_launch where loop_vars (l : Types.launch) =
+    Array.iter (check_sexpr where loop_vars) l.Types.sargs;
+    match task_of_launch where l with
+    | None -> ()
+    | Some task ->
+        List.iteri
+          (fun i rarg ->
+            if i >= Task.arity task then ()
+              (* arity mismatch already reported *)
+            else
+            match rarg with
+            | Types.Part (p, _) ->
+                err where
+                  "partition argument %s in a single launch (pass a region)"
+                  p
+            | Types.Whole rname -> (
+                match Program.find_decl prog rname with
+                | Some (Types.Dregion r) ->
+                    check_priv_fields where l.Types.task i r
+                      (Task.param_privs task i)
+                | Some _ -> err where "%s is not a region" rname
+                | None -> err where "unknown region %s" rname))
+          l.Types.rargs
+  in
+  let rec check_stmts loop_vars stmts =
+    List.iter
+      (fun stmt ->
+        match stmt with
+        | Types.Index_launch { space; launch } ->
+            check_index_launch
+              (Printf.sprintf "index launch of %s" launch.Types.task)
+              loop_vars space launch
+        | Types.Index_launch_reduce { space; launch; var; op = _ } ->
+            let where =
+              Printf.sprintf "reducing index launch of %s" launch.Types.task
+            in
+            check_index_launch where loop_vars space launch;
+            if not (List.mem var !scalars) then
+              err where "reduction target %s is not a declared scalar" var
+        | Types.Single_launch { launch } ->
+            check_single_launch
+              (Printf.sprintf "single launch of %s" launch.Types.task)
+              loop_vars launch
+        | Types.Assign (v, e) ->
+            let where = Printf.sprintf "assignment to %s" v in
+            if not (List.mem v !scalars) then
+              err where "%s is not a declared scalar" v;
+            check_sexpr where loop_vars e
+        | Types.For_time { var; count; body } ->
+            let where = Printf.sprintf "time loop over %s" var in
+            if count < 0 then err where "negative trip count %d" count;
+            if List.mem var !scalars || List.mem var loop_vars then
+              err where "loop variable %s shadows a scalar" var;
+            check_stmts (var :: loop_vars) body
+        | Types.If { test; then_; else_ } ->
+            check_sexpr "if condition" loop_vars test.Types.lhs;
+            check_sexpr "if condition" loop_vars test.Types.rhs;
+            check_stmts loop_vars then_;
+            check_stmts loop_vars else_)
+      stmts
+  in
+  check_stmts [] prog.Program.body;
+  match List.rev !errors with [] -> Ok () | es -> Error es
+
+let check_exn prog =
+  match check prog with
+  | Ok () -> ()
+  | Error es ->
+      let msg =
+        String.concat "; "
+          (List.map (fun e -> Format.asprintf "%a" pp_error e) es)
+      in
+      invalid_arg ("Check failed: " ^ msg)

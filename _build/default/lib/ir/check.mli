@@ -1,0 +1,19 @@
+(** Static well-formedness checking of programs.
+
+    Beyond name resolution and arity, [check] enforces the conditions under
+    which an index launch's iterations are independent (paper §2.2): region
+    arguments of index launches are of the form [p\[f(i)\]]; write-privileged
+    arguments use the identity projection on a disjoint partition; reduce
+    privileges are allowed on any argument (handled via reduction instances,
+    §4.3). Scalar assignment inside index launches is impossible by
+    construction; scalar reductions are expressed with
+    [Index_launch_reduce] (§4.4). *)
+
+type error = { where : string; what : string }
+
+val pp_error : Format.formatter -> error -> unit
+
+val check : Program.t -> (unit, error list) result
+
+val check_exn : Program.t -> unit
+(** Raises [Invalid_argument] with all messages joined. *)

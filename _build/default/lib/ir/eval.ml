@@ -1,0 +1,37 @@
+type env = (string, float) Hashtbl.t
+
+let env_of_list l =
+  let h = Hashtbl.create 16 in
+  List.iter (fun (k, v) -> Hashtbl.replace h k v) l;
+  h
+
+let get env n =
+  match Hashtbl.find_opt env n with
+  | Some v -> v
+  | None -> invalid_arg (Printf.sprintf "Eval: unbound scalar %s" n)
+
+let set env n v = Hashtbl.replace env n v
+let mem env n = Hashtbl.mem env n
+let bindings env = Hashtbl.fold (fun k v acc -> (k, v) :: acc) env []
+let copy = Hashtbl.copy
+
+let rec sexpr env = function
+  | Types.Sconst v -> v
+  | Types.Svar n -> get env n
+  | Types.Sneg e -> -.sexpr env e
+  | Types.Sadd (a, b) -> sexpr env a +. sexpr env b
+  | Types.Ssub (a, b) -> sexpr env a -. sexpr env b
+  | Types.Smul (a, b) -> sexpr env a *. sexpr env b
+  | Types.Sdiv (a, b) -> sexpr env a /. sexpr env b
+  | Types.Smin (a, b) -> Float.min (sexpr env a) (sexpr env b)
+  | Types.Smax (a, b) -> Float.max (sexpr env a) (sexpr env b)
+
+let stest env { Types.cmp; lhs; rhs } =
+  let a = sexpr env lhs and b = sexpr env rhs in
+  match cmp with
+  | Types.Lt -> a < b
+  | Types.Le -> a <= b
+  | Types.Gt -> a > b
+  | Types.Ge -> a >= b
+  | Types.Eq -> a = b
+  | Types.Ne -> a <> b

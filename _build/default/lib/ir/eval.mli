@@ -1,0 +1,15 @@
+(** Evaluation of scalar expressions against an environment. *)
+
+type env
+
+val env_of_list : (string * float) list -> env
+val get : env -> string -> float
+val set : env -> string -> float -> unit
+val mem : env -> string -> bool
+val bindings : env -> (string * float) list
+val copy : env -> env
+
+val sexpr : env -> Types.sexpr -> float
+(** Raises [Invalid_argument] on an unbound variable. *)
+
+val stest : env -> Types.stest -> bool

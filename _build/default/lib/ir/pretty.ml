@@ -1,0 +1,90 @@
+open Format
+
+let rec pp_sexpr ppf = function
+  | Types.Sconst v -> fprintf ppf "%g" v
+  | Types.Svar n -> pp_print_string ppf n
+  | Types.Sneg e -> fprintf ppf "-%a" pp_atom e
+  | Types.Sadd (a, b) -> fprintf ppf "%a + %a" pp_atom a pp_atom b
+  | Types.Ssub (a, b) -> fprintf ppf "%a - %a" pp_atom a pp_atom b
+  | Types.Smul (a, b) -> fprintf ppf "%a * %a" pp_atom a pp_atom b
+  | Types.Sdiv (a, b) -> fprintf ppf "%a / %a" pp_atom a pp_atom b
+  | Types.Smin (a, b) -> fprintf ppf "min(%a, %a)" pp_sexpr a pp_sexpr b
+  | Types.Smax (a, b) -> fprintf ppf "max(%a, %a)" pp_sexpr a pp_sexpr b
+
+and pp_atom ppf e =
+  match e with
+  | Types.Sconst _ | Types.Svar _ | Types.Smin _ | Types.Smax _ ->
+      pp_sexpr ppf e
+  | _ -> fprintf ppf "(%a)" pp_sexpr e
+
+let pp_rarg ppf = function
+  | Types.Part (p, Types.Id) -> fprintf ppf "%s[i]" p
+  | Types.Part (p, Types.Fn (f, _)) -> fprintf ppf "%s[%s(i)]" p f
+  | Types.Whole r -> pp_print_string ppf r
+
+let pp_cmp ppf c =
+  pp_print_string ppf
+    (match c with
+    | Types.Lt -> "<"
+    | Types.Le -> "<="
+    | Types.Gt -> ">"
+    | Types.Ge -> ">="
+    | Types.Eq -> "=="
+    | Types.Ne -> "!=")
+
+let pp_launch ppf (l : Types.launch) =
+  fprintf ppf "%s(" l.Types.task;
+  pp_print_list
+    ~pp_sep:(fun ppf () -> pp_print_string ppf ", ")
+    pp_rarg ppf l.Types.rargs;
+  Array.iter (fun s -> fprintf ppf ", %a" pp_sexpr s) l.Types.sargs;
+  pp_print_string ppf ")"
+
+let rec pp_stmt ppf = function
+  | Types.Index_launch { space; launch } ->
+      fprintf ppf "@[<h>for i in %s do %a end@]" space pp_launch launch
+  | Types.Index_launch_reduce { space; launch; var; op } ->
+      fprintf ppf "@[<h>%s %s= reduce for i in %s of %a@]" var
+        (Regions.Privilege.redop_to_string op)
+        space pp_launch launch
+  | Types.Single_launch { launch } -> pp_launch ppf launch
+  | Types.Assign (v, e) -> fprintf ppf "@[<h>%s = %a@]" v pp_sexpr e
+  | Types.For_time { var; count; body } ->
+      fprintf ppf "@[<v 2>for %s = 0, %d do@,%a@]@,end" var count pp_stmts
+        body
+  | Types.If { test; then_; else_ } -> (
+      fprintf ppf "@[<v 2>if %a %a %a then@,%a@]" pp_sexpr test.Types.lhs
+        pp_cmp test.Types.cmp pp_sexpr test.Types.rhs pp_stmts then_;
+      match else_ with
+      | [] -> fprintf ppf "@,end"
+      | _ -> fprintf ppf "@,@[<v 2>else@,%a@]@,end" pp_stmts else_)
+
+and pp_stmts ppf stmts =
+  pp_print_list ~pp_sep:pp_print_cut pp_stmt ppf stmts
+
+let pp_decl ppf (name, d) =
+  match d with
+  | Types.Dregion r ->
+      fprintf ppf "var %s = region(%d elements, {%a})" name
+        (Regions.Region.cardinal r)
+        (pp_print_list
+           ~pp_sep:(fun ppf () -> pp_print_string ppf ", ")
+           Regions.Field.pp)
+        r.Regions.Region.fields
+  | Types.Dpartition p ->
+      fprintf ppf "var %s = partition(%s, %d colors, %s)" name
+        p.Regions.Partition.parent.Regions.Region.name
+        (Regions.Partition.color_count p)
+        (match p.Regions.Partition.disjointness with
+        | Regions.Partition.Disjoint -> "disjoint"
+        | Regions.Partition.Aliased -> "aliased")
+  | Types.Dspace n -> fprintf ppf "var %s = ispace(0..%d)" name (n - 1)
+  | Types.Dscalar v -> fprintf ppf "var %s = %g" name v
+
+let pp_program ppf (p : Program.t) =
+  fprintf ppf "@[<v>-- program %s@," p.Program.name;
+  List.iter (fun d -> fprintf ppf "%a@," pp_decl d) p.Program.decls;
+  pp_stmts ppf p.Program.body;
+  fprintf ppf "@]"
+
+let program_to_string p = Format.asprintf "%a" pp_program p

@@ -1,0 +1,9 @@
+(** Pretty-printing of programs in a Regent-like concrete syntax (used by
+    golden tests and the [crc inspect] command). *)
+
+val pp_sexpr : Format.formatter -> Types.sexpr -> unit
+val pp_launch : Format.formatter -> Types.launch -> unit
+val pp_stmt : Format.formatter -> Types.stmt -> unit
+val pp_stmts : Format.formatter -> Types.stmt list -> unit
+val pp_program : Format.formatter -> Program.t -> unit
+val program_to_string : Program.t -> string

@@ -1,0 +1,144 @@
+open Regions
+
+type t = {
+  name : string;
+  tree : Region_tree.t;
+  decls : (string * Types.decl) list;
+  tasks : (string * Task.t) list;
+  body : Types.stmt list;
+}
+
+let find_decl t name = List.assoc_opt name t.decls
+
+let bad kind name =
+  invalid_arg (Printf.sprintf "Program: no %s named %s" kind name)
+
+let find_region t name =
+  match find_decl t name with
+  | Some (Types.Dregion r) -> r
+  | _ -> bad "region" name
+
+let find_partition t name =
+  match find_decl t name with
+  | Some (Types.Dpartition p) -> p
+  | _ -> bad "partition" name
+
+let find_space t name =
+  match find_decl t name with
+  | Some (Types.Dspace n) -> n
+  | _ -> bad "index space" name
+
+let find_task t name =
+  match List.assoc_opt name t.tasks with
+  | Some task -> task
+  | None -> bad "task" name
+
+let names_of t sel =
+  List.filter_map (fun (n, d) -> if sel d then Some n else None) t.decls
+
+let scalar_names t =
+  names_of t (function Types.Dscalar _ -> true | _ -> false)
+
+let initial_scalars t =
+  List.filter_map
+    (fun (n, d) ->
+      match d with Types.Dscalar v -> Some (n, v) | _ -> None)
+    t.decls
+
+let region_names t =
+  names_of t (function Types.Dregion _ -> true | _ -> false)
+
+let partition_names t =
+  names_of t (function Types.Dpartition _ -> true | _ -> false)
+
+module Builder = struct
+  type program = t
+
+  type b = {
+    bname : string;
+    btree : Region_tree.t;
+    mutable bdecls : (string * Types.decl) list; (* reversed *)
+    mutable btasks : (string * Task.t) list; (* reversed *)
+    mutable bbody : Types.stmt list;
+  }
+
+  let create ~name =
+    {
+      bname = name;
+      btree = Region_tree.create ();
+      bdecls = [];
+      btasks = [];
+      bbody = [];
+    }
+
+  let declare b name d =
+    if List.mem_assoc name b.bdecls then
+      invalid_arg (Printf.sprintf "Builder: name %s already declared" name);
+    b.bdecls <- (name, d) :: b.bdecls
+
+  let region b ~name ispace fields =
+    let r = Region.create ~name ispace fields in
+    Region_tree.register_root b.btree r;
+    declare b name (Types.Dregion r);
+    r
+
+  let bind_region b ~name r =
+    if not (Region_tree.mem_region b.btree r) then
+      invalid_arg "Builder.bind_region: region not in this program's tree";
+    declare b name (Types.Dregion r);
+    r
+
+  let partition b ~name f =
+    let p = f ~name in
+    Region_tree.register_partition b.btree p;
+    declare b name (Types.Dpartition p);
+    p
+
+  let space b ~name n =
+    if n <= 0 then invalid_arg "Builder.space: size <= 0";
+    declare b name (Types.Dspace n)
+
+  let scalar b ~name v = declare b name (Types.Dscalar v)
+
+  let task b (t : Task.t) =
+    if List.mem_assoc t.Task.tname b.btasks then
+      invalid_arg
+        (Printf.sprintf "Builder: task %s already declared" t.Task.tname);
+    b.btasks <- (t.Task.tname, t) :: b.btasks
+
+  let body b stmts = b.bbody <- b.bbody @ stmts
+
+  let finish b =
+    {
+      name = b.bname;
+      tree = b.btree;
+      decls = List.rev b.bdecls;
+      tasks = List.rev b.btasks;
+      body = b.bbody;
+    }
+end
+
+module Syntax = struct
+  let ( !. ) v = Types.Sconst v
+  let sv n = Types.Svar n
+  let ( +. ) a b = Types.Sadd (a, b)
+  let ( -. ) a b = Types.Ssub (a, b)
+  let ( *. ) a b = Types.Smul (a, b)
+  let ( /. ) a b = Types.Sdiv (a, b)
+
+  let call task ?(scalars = []) rargs =
+    { Types.task; rargs; sargs = Array.of_list scalars }
+
+  let part p = Types.Part (p, Types.Id)
+  let part_fn p fname f = Types.Part (p, Types.Fn (fname, f))
+  let whole r = Types.Whole r
+
+  let forall space launch = Types.Index_launch { space; launch }
+
+  let forall_reduce space launch ~into op =
+    Types.Index_launch_reduce { space; launch; var = into; op }
+
+  let run launch = Types.Single_launch { launch }
+  let assign v e = Types.Assign (v, e)
+  let for_time var count body = Types.For_time { var; count; body }
+end

@@ -1,0 +1,84 @@
+(** Whole programs: declarations, tasks, a body, and the region tree.
+
+    Programs are assembled with {!Builder}, which maintains the
+    {!Regions.Region_tree.t} used by every later analysis. *)
+
+type t = {
+  name : string;
+  tree : Regions.Region_tree.t;
+  decls : (string * Types.decl) list; (* in declaration order *)
+  tasks : (string * Task.t) list;
+  body : Types.stmt list;
+}
+
+val find_decl : t -> string -> Types.decl option
+val find_region : t -> string -> Regions.Region.t
+val find_partition : t -> string -> Regions.Partition.t
+val find_space : t -> string -> int
+val find_task : t -> string -> Task.t
+(** The [find_*] functions raise [Invalid_argument] with the offending name
+    when it is absent or bound to a different kind of declaration. *)
+
+val scalar_names : t -> string list
+val initial_scalars : t -> (string * float) list
+
+val region_names : t -> string list
+val partition_names : t -> string list
+
+module Builder : sig
+  type program = t
+  type b
+
+  val create : name:string -> b
+
+  val region :
+    b -> name:string -> Regions.Index_space.t -> Regions.Field.t list ->
+    Regions.Region.t
+  (** Declare a root region: creates it, registers it in the tree, binds the
+      name. *)
+
+  val bind_region : b -> name:string -> Regions.Region.t -> Regions.Region.t
+  (** Bind a name to an already-registered region (e.g. a subregion of a
+      partition, for hierarchical trees). *)
+
+  val partition :
+    b -> name:string -> (name:string -> Regions.Partition.t) ->
+    Regions.Partition.t
+  (** [partition b ~name f] runs the partitioning operator [f] (one of the
+      {!Regions.Partition} constructors, partially applied), registers the
+      result in the tree and binds the name. *)
+
+  val space : b -> name:string -> int -> unit
+  val scalar : b -> name:string -> float -> unit
+  val task : b -> Task.t -> unit
+  val body : b -> Types.stmt list -> unit
+
+  val finish : b -> program
+end
+
+(** Convenience constructors for statements and scalar expressions. *)
+module Syntax : sig
+  val ( !. ) : float -> Types.sexpr
+  val sv : string -> Types.sexpr
+  val ( +. ) : Types.sexpr -> Types.sexpr -> Types.sexpr
+  val ( -. ) : Types.sexpr -> Types.sexpr -> Types.sexpr
+  val ( *. ) : Types.sexpr -> Types.sexpr -> Types.sexpr
+  val ( /. ) : Types.sexpr -> Types.sexpr -> Types.sexpr
+
+  val call : string -> ?scalars:Types.sexpr list -> Types.rarg list -> Types.launch
+
+  (** [part p] is the argument [p[i]]; [part_fn p fname f] is [p[f(i)]];
+      [whole r] passes the entire region [r]. *)
+
+  val part : string -> Types.rarg
+  val part_fn : string -> string -> (int -> int) -> Types.rarg
+  val whole : string -> Types.rarg
+
+  val forall : string -> Types.launch -> Types.stmt
+  val forall_reduce :
+    string -> Types.launch -> into:string -> Regions.Privilege.redop ->
+    Types.stmt
+  val run : Types.launch -> Types.stmt
+  val assign : string -> Types.sexpr -> Types.stmt
+  val for_time : string -> int -> Types.stmt list -> Types.stmt
+end

@@ -1,0 +1,64 @@
+open Regions
+
+type access = { part : string; field : Field.t; mode : Privilege.mode }
+
+let launch_accesses (prog : Program.t) (l : Types.launch) =
+  let task = Program.find_task prog l.Types.task in
+  List.concat
+    (List.mapi
+       (fun i rarg ->
+         match rarg with
+         | Types.Part (p, _) ->
+             List.map
+               (fun (pr : Privilege.t) ->
+                 { part = p; field = pr.Privilege.field; mode = pr.Privilege.mode })
+               (Task.param_privs task i)
+         | Types.Whole r ->
+             invalid_arg
+               (Printf.sprintf
+                  "Summary.launch_accesses: whole-region argument %s in an \
+                   index launch"
+                  r))
+       l.Types.rargs)
+
+let single_accesses (prog : Program.t) (l : Types.launch) =
+  let task = Program.find_task prog l.Types.task in
+  List.concat
+    (List.mapi
+       (fun i rarg ->
+         let region =
+           match rarg with
+           | Types.Whole r -> Program.find_region prog r
+           | Types.Part (p, _) ->
+               invalid_arg
+                 (Printf.sprintf
+                    "Summary.single_accesses: partition argument %s in a \
+                     single launch"
+                    p)
+         in
+         List.map (fun pr -> (region, pr)) (Task.param_privs task i))
+       l.Types.rargs)
+
+let reads accs =
+  List.filter_map
+    (fun a ->
+      match a.mode with
+      | Privilege.Read | Privilege.Read_write -> Some (a.part, a.field)
+      | Privilege.Reduce _ -> None)
+    accs
+
+let writes accs =
+  List.filter_map
+    (fun a ->
+      match a.mode with
+      | Privilege.Read_write -> Some (a.part, a.field)
+      | Privilege.Read | Privilege.Reduce _ -> None)
+    accs
+
+let reduces accs =
+  List.filter_map
+    (fun a ->
+      match a.mode with
+      | Privilege.Reduce op -> Some (a.part, a.field, op)
+      | Privilege.Read | Privilege.Read_write -> None)
+    accs

@@ -1,0 +1,27 @@
+(** Partition-granularity access summaries.
+
+    Control replication performs all analysis "at the level of tasks,
+    privileges declared for tasks, region arguments to tasks, and the
+    disjointness or aliasing of region arguments" (paper §2.1). This module
+    computes, for a launch, which (partition, field) pairs are read, written
+    and reduced — the summary every CR stage and the dependence analysis
+    consume. *)
+
+type access = {
+  part : string; (* partition name *)
+  field : Regions.Field.t;
+  mode : Regions.Privilege.mode;
+}
+
+val launch_accesses : Program.t -> Types.launch -> access list
+(** Accesses of one index-launch statement, at partition granularity.
+    Raises [Invalid_argument] on [Whole] arguments (single launches are
+    summarised with {!single_accesses}). *)
+
+val single_accesses :
+  Program.t -> Types.launch -> (Regions.Region.t * Regions.Privilege.t) list
+(** Accesses of a single launch, at region granularity. *)
+
+val reads : access list -> (string * Regions.Field.t) list
+val writes : access list -> (string * Regions.Field.t) list
+val reduces : access list -> (string * Regions.Field.t * Regions.Privilege.redop) list

@@ -1,0 +1,84 @@
+open Regions
+
+type param = { pname : string; privs : Privilege.t list }
+
+type t = {
+  tname : string;
+  params : param list;
+  nscalars : int;
+  kernel : Accessor.t array -> float array -> float;
+  cost : int array -> float;
+}
+
+let default_cost sizes =
+  match Array.length sizes with
+  | 0 -> 1e-6
+  | _ -> float_of_int sizes.(0) /. 1e8
+
+let nth_param t i =
+  match List.nth_opt t.params i with
+  | Some p -> p
+  | None ->
+      invalid_arg (Printf.sprintf "Task %s: no parameter %d" t.tname i)
+
+let param_privs t i = (nth_param t i).privs
+let arity t = List.length t.params
+
+let writes_param t i =
+  List.exists
+    (fun (p : Privilege.t) -> p.Privilege.mode = Privilege.Read_write)
+    (param_privs t i)
+
+let reduces_param t i =
+  List.find_map
+    (fun (p : Privilege.t) ->
+      match p.Privilege.mode with
+      | Privilege.Reduce op -> Some op
+      | Privilege.Read | Privilege.Read_write -> None)
+    (param_privs t i)
+
+let fields_with t i sel =
+  List.filter_map
+    (fun (p : Privilege.t) ->
+      if sel p.Privilege.mode then Some p.Privilege.field else None)
+    (param_privs t i)
+
+let written_fields t i =
+  fields_with t i (function Privilege.Read_write -> true | _ -> false)
+
+let read_fields t i =
+  fields_with t i (function
+    | Privilege.Read | Privilege.Read_write -> true
+    | Privilege.Reduce _ -> false)
+
+let reduced_fields t i =
+  fields_with t i (function Privilege.Reduce _ -> true | _ -> false)
+
+let make ~name ~params ?(nscalars = 0) ?(cost = default_cost) kernel =
+  let t = { tname = name; params; nscalars; kernel; cost } in
+  (* Reject parameters mixing reduce with read/write privileges: reduction
+     arguments get dedicated temporary instances under control replication
+     (paper §4.3), which is only sound when the task cannot also observe the
+     argument's contents. *)
+  List.iteri
+    (fun i (p : param) ->
+      let has_reduce =
+        List.exists
+          (fun (pr : Privilege.t) ->
+            match pr.Privilege.mode with Privilege.Reduce _ -> true | _ -> false)
+          p.privs
+      and has_other =
+        List.exists
+          (fun (pr : Privilege.t) ->
+            match pr.Privilege.mode with
+            | Privilege.Read | Privilege.Read_write -> true
+            | Privilege.Reduce _ -> false)
+          p.privs
+      in
+      if has_reduce && has_other then
+        invalid_arg
+          (Printf.sprintf
+             "Task %s: parameter %d mixes reduce and read/write privileges"
+             name i))
+    params;
+  t

@@ -1,0 +1,45 @@
+(** Task declarations.
+
+    A task is the unit of parallel work: a name, region parameters with
+    declared per-field privileges, a number of scalar parameters, an
+    executable kernel, and a cost model used by the machine simulator.
+
+    The kernel receives one privilege-checked {!Regions.Accessor.t} per
+    region parameter (in declaration order) plus the scalar arguments, and
+    returns a scalar (meaningful only for launches that reduce task
+    results, e.g. a local dt bound; return [0.] otherwise). *)
+
+type param = { pname : string; privs : Regions.Privilege.t list }
+
+type t = {
+  tname : string;
+  params : param list;
+  nscalars : int;
+  kernel : Regions.Accessor.t array -> float array -> float;
+  cost : int array -> float; (* subregion sizes (elements) -> seconds *)
+}
+
+val make :
+  name:string ->
+  params:param list ->
+  ?nscalars:int ->
+  ?cost:(int array -> float) ->
+  (Regions.Accessor.t array -> float array -> float) ->
+  t
+(** [cost] defaults to a rate of 10^8 elements/second over the first region
+    argument — only the simulator consults it. *)
+
+val param_privs : t -> int -> Regions.Privilege.t list
+val arity : t -> int
+
+val writes_param : t -> int -> bool
+(** Whether parameter [i] carries any [Read_write] privilege. *)
+
+val reduces_param : t -> int -> Regions.Privilege.redop option
+(** The reduction operator of parameter [i], when it carries one. Mixing
+    reduce and non-reduce privileges on one parameter is rejected by
+    {!make}. *)
+
+val written_fields : t -> int -> Regions.Field.t list
+val read_fields : t -> int -> Regions.Field.t list
+val reduced_fields : t -> int -> Regions.Field.t list

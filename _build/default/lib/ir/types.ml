@@ -1,0 +1,64 @@
+(* Core abstract syntax of the implicitly parallel task language.
+
+   Programs are the Regent subset control replication targets (paper §2.2):
+   arbitrary scalar control flow around forall-style loops of task calls
+   whose region arguments are p[f(i)] for a partition p, loop index i and
+   pure f. Tasks declare per-field privileges on each region parameter and
+   their bodies are opaque kernels — the analyses never look inside.
+
+   Scalars are double-precision floats (time-step sizes, residuals, ...).
+   Loop trip counts are integers known when the loop starts. *)
+
+(* Scalar expressions over the program's scalar variables. *)
+type sexpr =
+  | Sconst of float
+  | Svar of string
+  | Sneg of sexpr
+  | Sadd of sexpr * sexpr
+  | Ssub of sexpr * sexpr
+  | Smul of sexpr * sexpr
+  | Sdiv of sexpr * sexpr
+  | Smin of sexpr * sexpr
+  | Smax of sexpr * sexpr
+
+type cmp = Lt | Le | Gt | Ge | Eq | Ne
+
+type stest = { cmp : cmp; lhs : sexpr; rhs : sexpr }
+
+(* Projection applied to the launch index to pick a subregion: [Id] is p[i];
+   [Fn] is p[f(i)] with a named pure function (the name keys derived
+   partitions during normalization). *)
+type proj = Id | Fn of string * (int -> int)
+
+(* A region argument of a task call. [Part] appears in index launches;
+   [Whole] passes an entire region (allowed only in single launches). *)
+type rarg = Part of string * proj | Whole of string
+
+type launch = { task : string; rargs : rarg list; sargs : sexpr array }
+
+type stmt =
+  | Index_launch of { space : string; launch : launch }
+      (* for i in space do task(p[f(i)], ...) end -- iterations
+         independent *)
+  | Index_launch_reduce of {
+      space : string;
+      launch : launch;
+      var : string;
+      op : Regions.Privilege.redop;
+    }
+      (* var = reduce(op) over i of task(...) -- scalar reduction, e.g.
+         dt computation (paper §4.4) *)
+  | Single_launch of { launch : launch }
+  | Assign of string * sexpr
+  | For_time of { var : string; count : int; body : stmt list }
+      (* the outer t = 0..T loop; [var] is readable as a scalar inside *)
+  | If of { test : stest; then_ : stmt list; else_ : stmt list }
+
+(* Declarations binding program-level names. Regions and partitions are
+   concrete values built by the program's setup code; [Dspace n] declares a
+   launch space with colors 0..n-1. *)
+type decl =
+  | Dregion of Regions.Region.t
+  | Dpartition of Regions.Partition.t
+  | Dspace of int
+  | Dscalar of float

@@ -1,0 +1,1 @@
+lib/legion/dep.ml: Field Ir List Partition Privilege Program Region_tree Regions Spmd Summary Types

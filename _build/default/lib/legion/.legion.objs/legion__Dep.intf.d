@@ -1,0 +1,1 @@
+lib/legion/dep.mli: Ir Regions Spmd

@@ -1,0 +1,1 @@
+lib/legion/mapper.mli:

@@ -1,0 +1,1 @@
+lib/legion/sim_implicit.ml: Array Dep Float Fun Index_space Ir List Mapper Partition Program Realm Region Regions Scale Spmd Task Types

@@ -1,0 +1,1 @@
+lib/legion/sim_implicit.mli: Ir Mapper Realm Scale

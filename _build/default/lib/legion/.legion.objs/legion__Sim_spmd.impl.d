@@ -1,0 +1,1 @@
+lib/legion/sim_spmd.ml: Array Float Hashtbl Index_space Ir List Option Partition Privilege Program Realm Region Regions Scale Spmd Summary Task Types

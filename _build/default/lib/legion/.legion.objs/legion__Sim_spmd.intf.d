@@ -1,0 +1,1 @@
+lib/legion/sim_spmd.mli: Realm Scale Spmd

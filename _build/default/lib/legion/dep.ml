@@ -1,0 +1,95 @@
+open Regions
+open Ir
+
+type aliased_pairs = {
+  data : Spmd.Intersections.pairs list;
+      (* earlier statement produced (wrote/reduced) the overlap: charge a
+         transfer of the intersection *)
+  order : Spmd.Intersections.pairs list;
+      (* pure ordering (the earlier statement only read): no data moves *)
+}
+
+type relation =
+  | No_dep
+  | Same_color
+  | All_colors of aliased_pairs
+
+(* Privilege-level conflict: must the two accesses be ordered? *)
+let conflicts m1 m2 = Privilege.conflicts m1 m2
+
+let launch_of = function
+  | Types.Index_launch { launch; _ } | Types.Index_launch_reduce { launch; _ }
+    ->
+      launch
+  | Types.Single_launch _ | Types.Assign _ | Types.For_time _ | Types.If _ ->
+      invalid_arg "Dep: not an index launch"
+
+(* (partition, field, mode) accesses where the mode can produce or consume
+   data. *)
+let accesses prog stmt =
+  let accs = Summary.launch_accesses prog (launch_of stmt) in
+  List.map
+    (fun (a : Summary.access) -> (a.Summary.part, a.Summary.field, a.Summary.mode))
+    accs
+
+let conflicting_accesses_full prog earlier later =
+  let e = accesses prog earlier and l = accesses prog later in
+  List.concat_map
+    (fun (p1, f1, m1) ->
+      List.filter_map
+        (fun (p2, f2, m2) ->
+          if Field.equal f1 f2 && conflicts m1 m2 then Some (p1, p2, f1, m1)
+          else None)
+        l)
+    e
+
+let conflicting_accesses prog earlier later =
+  List.map
+    (fun (p1, p2, f, _) -> (p1, p2, f))
+    (conflicting_accesses_full prog earlier later)
+
+let relate (prog : Program.t) earlier later =
+  let tree = prog.Program.tree in
+  let pairs = conflicting_accesses_full prog earlier later in
+  let same_color = ref false in
+  let data = ref [] and order = ref [] in
+  List.iter
+    (fun (p1, p2, _, m1) ->
+      if p1 = p2 then
+        (* Same disjoint partition: the conflict is color-diagonal. Writes
+           through aliased partitions are rejected upstream, so a
+           same-partition conflict implies disjointness. *)
+        same_color := true
+      else
+        let pa = Program.find_partition prog p1
+        and pb = Program.find_partition prog p2 in
+        if
+          not
+            (Region_tree.provably_disjoint tree pa.Partition.parent
+               pb.Partition.parent)
+        then begin
+          let bucket =
+            match m1 with
+            | Privilege.Read_write | Privilege.Reduce _ -> data
+            | Privilege.Read -> order
+          in
+          if not (List.mem (p1, p2) !bucket) then
+            bucket := (p1, p2) :: !bucket
+        end)
+    pairs;
+  let compute l =
+    List.map
+      (fun (p1, p2) ->
+        Spmd.Intersections.compute
+          ~src:(Program.find_partition prog p1)
+          ~dst:(Program.find_partition prog p2)
+          ())
+      (List.rev l)
+  in
+  (* A pair that moves data subsumes its ordering constraint. *)
+  let order_only =
+    List.filter (fun pq -> not (List.mem pq !data)) !order
+  in
+  match (!data, order_only) with
+  | [], [] -> if !same_color then Same_color else No_dep
+  | d, o -> All_colors { data = compute d; order = compute o }

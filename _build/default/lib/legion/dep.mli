@@ -1,0 +1,39 @@
+(** Dynamic dependence analysis at launch granularity (paper §4.1).
+
+    For each ordered pair of launch statements in a loop body, classify how
+    color [j] of the later launch depends on colors of the earlier one:
+
+    - [No_dep] — every access pair is non-conflicting or provably disjoint;
+    - [Same_color] — conflicts only through the same disjoint partition, so
+      color [j] depends on color [j] only (e.g. read-after-write on p\[i\]);
+    - [All_colors of pairs] — conflicts through aliased partitions: color
+      [j] may touch data any earlier color produced. The payload lists, per
+      (writer partition, reader partition) pair, the dynamic intersections —
+      which also price the data movement Legion would perform.
+
+    This is what the single master thread computes task-by-task in the
+    implicit model; the simulator charges [analysis_overhead] per task for
+    it. *)
+
+type aliased_pairs = {
+  data : Spmd.Intersections.pairs list;
+      (** the earlier statement produced the overlap — a real transfer *)
+  order : Spmd.Intersections.pairs list;
+      (** write-after-read ordering only — no data moves *)
+}
+
+type relation =
+  | No_dep
+  | Same_color
+  | All_colors of aliased_pairs
+
+val relate :
+  Ir.Program.t -> Ir.Types.stmt -> Ir.Types.stmt -> relation
+(** [relate prog earlier later]. Both statements must be index launches
+    (possibly reducing). *)
+
+val conflicting_accesses :
+  Ir.Program.t -> Ir.Types.stmt -> Ir.Types.stmt ->
+  (string * string * Regions.Field.t) list
+(** The (earlier partition, later partition, field) conflicts behind the
+    relation — exposed for tests. *)

@@ -1,0 +1,9 @@
+type t = { node_of_color : colors:int -> int -> int }
+
+let block ~nodes =
+  {
+    node_of_color =
+      (fun ~colors c -> Spmd.Prog.owner_of_color ~shards:nodes ~colors c);
+  }
+
+let round_robin ~nodes = { node_of_color = (fun ~colors:_ c -> c mod nodes) }

@@ -1,0 +1,17 @@
+(** Task-to-node mapping (paper §4.2).
+
+    The default strategy is the typical one the paper describes: one shard
+    per node, block distribution of colors over nodes, and tasks of a shard
+    spread over the node's compute cores. Mappers are first-class so
+    alternative policies (round-robin, random) can be plugged into the
+    simulators for mapping experiments. *)
+
+type t = { node_of_color : colors:int -> int -> int }
+
+val block : nodes:int -> t
+(** Block distribution — matches {!Spmd.Prog.owner_of_color} with one shard
+    per node. *)
+
+val round_robin : nodes:int -> t
+(** Color [c] on node [c mod nodes] — deliberately communication-hostile,
+    for mapping ablations. *)

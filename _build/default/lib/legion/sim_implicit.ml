@@ -1,0 +1,211 @@
+open Regions
+open Ir
+
+type result = {
+  per_step : float;
+  total : float;
+  tasks_run : int;
+  bytes_moved : float;
+}
+
+(* Precomputed description of one launch statement in the loop body. *)
+type stmt_info = {
+  stmt : Types.stmt;
+  launch : Types.launch;
+  space_size : int;
+  is_reduce : bool;
+  has_scalar_args : bool;
+  (* for each argument: partition name and the color projection *)
+  args : (string * (int -> int)) list;
+}
+
+let stmt_info (prog : Program.t) stmt =
+  match stmt with
+  | Types.Index_launch { space; launch }
+  | Types.Index_launch_reduce { space; launch; _ } ->
+      let args =
+        List.map
+          (function
+            | Types.Part (p, Types.Id) -> (p, Fun.id)
+            | Types.Part (p, Types.Fn (_, f)) -> (p, f)
+            | Types.Whole r ->
+                invalid_arg
+                  ("Sim_implicit: whole-region argument " ^ r
+                 ^ " in an index launch"))
+          launch.Types.rargs
+      in
+      Some
+        {
+          stmt;
+          launch;
+          space_size = Program.find_space prog space;
+          is_reduce =
+            (match stmt with Types.Index_launch_reduce _ -> true | _ -> false);
+          has_scalar_args = Array.length launch.Types.sargs > 0;
+          args;
+        }
+  | Types.Assign _ -> None
+  | Types.Single_launch _ | Types.For_time _ | Types.If _ ->
+      invalid_arg "Sim_implicit: unsupported statement in the time loop"
+
+(* For an All_colors relation, index the intersection pairs by consumer
+   color: j -> [(producer color, elements, is_data)]. *)
+let index_pairs (rel : Dep.relation) =
+  match rel with
+  | Dep.No_dep | Dep.Same_color -> [||]
+  | Dep.All_colors { data; order } ->
+      let max_j = ref (-1) in
+      List.iter
+        (fun (ps : Spmd.Intersections.pairs) ->
+          List.iter
+            (fun (_, j, _) -> if j > !max_j then max_j := j)
+            ps.Spmd.Intersections.items)
+        (data @ order);
+      let idx = Array.make (!max_j + 1) [] in
+      let add is_data (ps : Spmd.Intersections.pairs) =
+        List.iter
+          (fun (i, j, inter) ->
+            idx.(j) <- (i, Index_space.cardinal inter, is_data) :: idx.(j))
+          ps.Spmd.Intersections.items
+      in
+      List.iter (add true) data;
+      List.iter (add false) order;
+      idx
+
+let find_loop (prog : Program.t) =
+  match
+    List.find_map
+      (function Types.For_time { body; _ } -> Some body | _ -> None)
+      prog.Program.body
+  with
+  | Some body -> body
+  | None -> invalid_arg "Sim_implicit: no top-level time loop"
+
+let simulate ~machine ?mapper ?(scale = Scale.unit_scale) ?(steps = 10)
+    (prog : Program.t) =
+  let mapper =
+    match mapper with
+    | Some m -> m
+    | None -> Mapper.block ~nodes:machine.Realm.Machine.nodes
+  in
+  let body = find_loop prog in
+  let infos = List.filter_map (stmt_info prog) body in
+  let n_stmts = List.length infos in
+  let infos = Array.of_list infos in
+  (* relations.(s1).(s2): how stmt s2 depends on the most recent execution
+     of stmt s1 (s1 may follow s2 in body order — the loop back edge). *)
+  let relations =
+    Array.init n_stmts (fun s1 ->
+        Array.init n_stmts (fun s2 ->
+            Dep.relate prog infos.(s1).stmt infos.(s2).stmt))
+  in
+  let pair_index =
+    Array.init n_stmts (fun s1 ->
+        Array.init n_stmts (fun s2 -> index_pairs relations.(s1).(s2)))
+  in
+  let node_of info c =
+    mapper.Mapper.node_of_color ~colors:info.space_size c
+  in
+  let pools =
+    Array.init machine.Realm.Machine.nodes (fun _ ->
+        Realm.Cores.create ~cores:(Realm.Machine.compute_cores machine))
+  in
+  (* completion.(s).(c): completion time of the latest execution of color c
+     of stmt s; comp_max.(s): max over colors. *)
+  let completion = Array.map (fun i -> Array.make i.space_size 0.) infos in
+  let comp_max = Array.make n_stmts 0. in
+  let ctl = ref 0. in
+  let scalar_ready = ref 0. in
+  let tasks_run = ref 0 and bytes_moved = ref 0. in
+  let per_elem_bytes = machine.Realm.Machine.bytes_per_element in
+  let run_stmt s2 =
+    let info = infos.(s2) in
+    let task = Program.find_task prog info.launch.Types.task in
+    let new_completions = Array.make info.space_size 0. in
+    for c = 0 to info.space_size - 1 do
+      (* The master serially pays launch + analysis per subtask: the O(N)
+         control bottleneck. *)
+      ctl :=
+        !ctl
+        +. machine.Realm.Machine.launch_overhead
+        +. machine.Realm.Machine.analysis_overhead;
+      let ready = ref !ctl in
+      if info.has_scalar_args then ready := Float.max !ready !scalar_ready;
+      let dst_node = node_of info c in
+      (* Dependences on every statement's most recent execution. *)
+      for s1 = 0 to n_stmts - 1 do
+        match relations.(s1).(s2) with
+        | Dep.No_dep -> ()
+        | Dep.Same_color ->
+            if c < Array.length completion.(s1) then
+              ready := Float.max !ready completion.(s1).(c)
+        | Dep.All_colors _ ->
+            let idx = pair_index.(s1).(s2) in
+            if c < Array.length idx then
+              List.iter
+                (fun (i, elems, is_data) ->
+                  let t_prod = completion.(s1).(i) in
+                  let t =
+                    if is_data then begin
+                      let src_node = node_of infos.(s1) i in
+                      let bytes =
+                        float_of_int elems *. scale.Scale.copy *. per_elem_bytes
+                      in
+                      if src_node <> dst_node then
+                        bytes_moved := !bytes_moved +. bytes;
+                      t_prod
+                      +. Realm.Machine.transfer_time machine ~src_node
+                           ~dst_node ~bytes
+                    end
+                    else t_prod
+                  in
+                  ready := Float.max !ready t)
+                idx.(c)
+      done;
+      let sizes =
+        Array.of_list
+          (List.map
+             (fun (pname, proj) ->
+               let p = Program.find_partition prog pname in
+               let card = Region.cardinal (Partition.sub p (proj c)) in
+               int_of_float (float_of_int card *. scale.Scale.compute))
+             info.args)
+      in
+      let noise =
+        Realm.Machine.jitter machine ~key:((c * 131) + !tasks_run)
+      in
+      let finish =
+        Realm.Cores.execute pools.(dst_node) ~ready:!ready
+          ~duration:(task.Task.cost sizes *. noise)
+      in
+      incr tasks_run;
+      new_completions.(c) <- finish
+    done;
+    Array.blit new_completions 0 completion.(s2) 0 info.space_size;
+    comp_max.(s2) <- Array.fold_left Float.max 0. new_completions;
+    if info.is_reduce then
+      (* The master folds the returned futures; dependent launches wait for
+         the result but the control thread itself does not block. *)
+      scalar_ready := Float.max !scalar_ready comp_max.(s2)
+  in
+  let mark () =
+    Array.fold_left Float.max !ctl comp_max
+  in
+  let warmup = min 2 (steps - 1) in
+  let warm_mark = ref 0. in
+  for step = 1 to steps do
+    for s = 0 to n_stmts - 1 do
+      run_stmt s
+    done;
+    if step = warmup then warm_mark := mark ()
+  done;
+  let total = mark () in
+  {
+    per_step =
+      (if steps > warmup then
+         (total -. !warm_mark) /. float_of_int (steps - warmup)
+       else total /. float_of_int steps);
+    total;
+    tasks_run = !tasks_run;
+    bytes_moved = !bytes_moved;
+  }

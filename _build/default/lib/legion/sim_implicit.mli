@@ -1,0 +1,33 @@
+(** Critical-path simulation of the {e implicit} (non-control-replicated)
+    execution model.
+
+    A single master control thread launches every subtask in the system,
+    paying launch plus dynamic dependence-analysis overhead per task —
+    O(total tasks) serial work per timestep, the bottleneck of paper
+    Fig. 1c/§1. Launches are deferred (the master never blocks on task
+    results); tasks start when the master has issued them, their
+    dependences have resolved and their input data has arrived, and they
+    occupy a core on their mapped node. Data movement between dependent
+    tasks on different nodes pays the network model on the dynamic
+    intersection of the producer and consumer subregions.
+
+    The measured region is the program's first top-level time loop, re-run
+    for [steps] iterations. *)
+
+type result = {
+  per_step : float;
+  total : float;
+  tasks_run : int;
+  bytes_moved : float;
+}
+
+val simulate :
+  machine:Realm.Machine.t ->
+  ?mapper:Mapper.t ->
+  ?scale:Scale.t ->
+  ?steps:int ->
+  Ir.Program.t ->
+  result
+(** Handles [p\[f(i)\]] projections directly (no normalization needed).
+    Raises [Invalid_argument] when the program has no top-level time
+    loop. *)

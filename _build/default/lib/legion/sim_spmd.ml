@@ -1,0 +1,301 @@
+open Regions
+open Ir
+
+type result = {
+  per_step : float;
+  total : float;
+  tasks_run : int;
+  copies_run : int;
+  bytes_moved : float;
+}
+
+type state = {
+  machine : Realm.Machine.t;
+  scale : Scale.t;
+  source : Program.t;
+  block : Spmd.Prog.block;
+  ctl : float array; (* control-thread timestamp per shard *)
+  scalar_ready : float array; (* per shard: when replicated scalars settle *)
+  last_completion : float array; (* per shard: latest operation completion *)
+  pools : Realm.Cores.t array; (* per node *)
+  avail : (string * int, float) Hashtbl.t; (* (partition, color) data ready *)
+  readers_done : (string * int, float) Hashtbl.t;
+  pairsets : (int, Spmd.Intersections.pairs) Hashtbl.t;
+  arrival : (int * int * int, float) Hashtbl.t; (* copy pair arrival *)
+  release : (int * int * int, float) Hashtbl.t; (* WAR release per pair *)
+  mutable tasks_run : int;
+  mutable copies_run : int;
+  mutable bytes_moved : float;
+}
+
+let get tbl key = Option.value ~default:0. (Hashtbl.find_opt tbl key)
+let bump tbl key v = Hashtbl.replace tbl key (Float.max (get tbl key) v)
+
+let owner st pname color =
+  let p = Program.find_partition st.source pname in
+  Spmd.Prog.owner_of_color ~shards:st.block.Spmd.Prog.shards
+    ~colors:(Partition.color_count p) color
+
+let owned_colors st s space =
+  let n = Program.find_space st.source space in
+  Spmd.Prog.colors_of_shard ~shards:st.block.Spmd.Prog.shards ~colors:n s
+
+let scaled_size st n = int_of_float (float_of_int n *. st.scale.Scale.compute)
+
+(* One owned task of a launch: charge control overhead, wait for argument
+   data, occupy a core. Returns the completion time. *)
+let run_task st s (launch : Types.launch) c =
+  let task = Program.find_task st.source launch.Types.task in
+  st.ctl.(s) <-
+    st.ctl.(s)
+    +. st.machine.Realm.Machine.launch_overhead
+    +. st.machine.Realm.Machine.local_analysis_overhead;
+  let ready = ref (Float.max st.ctl.(s) st.scalar_ready.(s)) in
+  let sizes =
+    Array.of_list
+      (List.map
+         (fun rarg ->
+           match rarg with
+           | Types.Part (pname, Types.Id) ->
+               let p = Program.find_partition st.source pname in
+               let card = Region.cardinal (Partition.sub p c) in
+               ready := Float.max !ready (get st.avail (pname, c));
+               ready := Float.max !ready (get st.readers_done (pname, c));
+               scaled_size st card
+           | Types.Part (_, Types.Fn _) | Types.Whole _ ->
+               invalid_arg "Sim_spmd: non-normalized launch argument")
+         launch.Types.rargs)
+  in
+  let noise =
+    Realm.Machine.jitter st.machine ~key:((c * 131) + st.tasks_run)
+  in
+  let completion =
+    Realm.Cores.execute st.pools.(s) ~ready:!ready
+      ~duration:(task.Task.cost sizes *. noise)
+  in
+  st.tasks_run <- st.tasks_run + 1;
+  let accs =
+    List.map
+      (fun (a : Summary.access) -> (a.Summary.part, a.Summary.mode))
+      (Summary.launch_accesses st.source launch)
+  in
+  List.iter
+    (fun (pname, mode) ->
+      match mode with
+      | Privilege.Read -> bump st.readers_done (pname, c) completion
+      | Privilege.Read_write | Privilege.Reduce _ ->
+          bump st.avail (pname, c) completion;
+          bump st.readers_done (pname, c) completion)
+    accs;
+  st.last_completion.(s) <- Float.max st.last_completion.(s) completion;
+  completion
+
+let copy_bytes st (c : Spmd.Prog.copy) inter_cardinal =
+  float_of_int inter_cardinal *. st.scale.Scale.copy
+  *. st.machine.Realm.Machine.bytes_per_element
+  *. float_of_int (List.length c.Spmd.Prog.fields)
+
+let part_name = function
+  | Spmd.Prog.Opart p -> p
+  | Spmd.Prog.Oregion r ->
+      invalid_arg ("Sim_spmd: region operand " ^ r ^ " in replicated body")
+
+let exec_instr st (instr : Spmd.Prog.instr) =
+  let shards = st.block.Spmd.Prog.shards in
+  match instr with
+  | Spmd.Prog.Assign _ -> ()
+  | Spmd.Prog.Launch { space; launch } ->
+      for s = 0 to shards - 1 do
+        List.iter
+          (fun c -> ignore (run_task st s launch c))
+          (owned_colors st s space)
+      done
+  | Spmd.Prog.Launch_collective { space; launch; _ } ->
+      (* Local partials, then an asynchronous dynamic collective (§4.4):
+         control threads do not block; dependent tasks wait for the
+         result. *)
+      let finish = ref 0. in
+      for s = 0 to shards - 1 do
+        List.iter
+          (fun c -> finish := Float.max !finish (run_task st s launch c))
+          (owned_colors st s space)
+      done;
+      let result_at =
+        !finish +. Realm.Machine.collective_time st.machine
+      in
+      for s = 0 to shards - 1 do
+        st.scalar_ready.(s) <- Float.max st.scalar_ready.(s) result_at
+      done
+  | Spmd.Prog.Fill { part; fields; _ } ->
+      for s = 0 to shards - 1 do
+        let p = Program.find_partition st.source part in
+        List.iter
+          (fun c ->
+            let bytes =
+              float_of_int
+                (scaled_size st (Region.cardinal (Partition.sub p c)))
+              *. st.machine.Realm.Machine.bytes_per_element
+              *. float_of_int (List.length fields)
+            in
+            st.ctl.(s) <-
+              st.ctl.(s) +. st.machine.Realm.Machine.launch_overhead;
+            let ready =
+              Float.max st.ctl.(s)
+                (Float.max (get st.avail (part, c)) (get st.readers_done (part, c)))
+            in
+            let completion =
+              Realm.Cores.execute st.pools.(s) ~ready
+                ~duration:(bytes /. st.machine.Realm.Machine.memory_bandwidth)
+            in
+            bump st.avail (part, c) completion;
+            st.last_completion.(s) <- Float.max st.last_completion.(s) completion)
+          (Spmd.Prog.colors_of_shard ~shards
+             ~colors:(Partition.color_count p) s)
+      done
+  | Spmd.Prog.Copy c ->
+      let ps = part_name c.Spmd.Prog.src and pd = part_name c.Spmd.Prog.dst in
+      let pairs = Hashtbl.find st.pairsets c.Spmd.Prog.copy_id in
+      List.iter
+        (fun (i, j, inter) ->
+          let s = owner st ps i in
+          let key = (c.Spmd.Prog.copy_id, i, j) in
+          st.ctl.(s) <-
+            st.ctl.(s) +. st.machine.Realm.Machine.copy_issue_overhead;
+          let ready =
+            Float.max st.ctl.(s)
+              (Float.max (get st.avail (ps, i)) (get st.release key))
+          in
+          let bytes = copy_bytes st c (Index_space.cardinal inter) in
+          let dur =
+            Realm.Machine.transfer_time st.machine ~src_node:s
+              ~dst_node:(owner st pd j) ~bytes
+          in
+          let completion = ready +. dur in
+          Hashtbl.replace st.arrival key completion;
+          st.copies_run <- st.copies_run + 1;
+          st.bytes_moved <- st.bytes_moved +. bytes;
+          st.last_completion.(s) <- Float.max st.last_completion.(s) completion)
+        pairs.Spmd.Intersections.items
+  | Spmd.Prog.Await copy_id ->
+      (* Deferred precondition: destination data becomes ready at arrival,
+         the control thread does not block. *)
+      let c =
+        List.find
+          (fun (c : Spmd.Prog.copy) -> c.Spmd.Prog.copy_id = copy_id)
+          st.block.Spmd.Prog.copies
+      in
+      let pd = part_name c.Spmd.Prog.dst in
+      let pairs = Hashtbl.find st.pairsets copy_id in
+      List.iter
+        (fun (i, j, _) ->
+          bump st.avail (pd, j) (get st.arrival (copy_id, i, j)))
+        pairs.Spmd.Intersections.items
+  | Spmd.Prog.Release copy_id ->
+      let c =
+        List.find
+          (fun (c : Spmd.Prog.copy) -> c.Spmd.Prog.copy_id = copy_id)
+          st.block.Spmd.Prog.copies
+      in
+      let pd = part_name c.Spmd.Prog.dst in
+      let pairs = Hashtbl.find st.pairsets copy_id in
+      List.iter
+        (fun (i, j, _) ->
+          Hashtbl.replace st.release (copy_id, i, j)
+            (get st.readers_done (pd, j)))
+        pairs.Spmd.Intersections.items
+  | Spmd.Prog.Barrier ->
+      (* Global barriers block the control threads (this is exactly what
+         the §3.4 point-to-point refinement avoids). *)
+      let arrive = ref 0. in
+      for s = 0 to shards - 1 do
+        arrive := Float.max !arrive (Float.max st.ctl.(s) st.last_completion.(s))
+      done;
+      let done_at = !arrive +. Realm.Machine.barrier_time st.machine in
+      for s = 0 to shards - 1 do
+        st.ctl.(s) <- done_at
+      done
+  | Spmd.Prog.For_time _ ->
+      invalid_arg "Sim_spmd: nested loop reached exec_instr"
+
+let find_block (prog : Spmd.Prog.t) =
+  match
+    List.find_map
+      (function Spmd.Prog.Replicated b -> Some b | Spmd.Prog.Seq _ -> None)
+      prog.Spmd.Prog.items
+  with
+  | Some b -> b
+  | None -> invalid_arg "Sim_spmd: no replicated block in program"
+
+let simulate ~machine ?(scale = Scale.unit_scale) ?(steps = 10)
+    (prog : Spmd.Prog.t) =
+  let block = find_block prog in
+  if block.Spmd.Prog.shards <> machine.Realm.Machine.nodes then
+    invalid_arg "Sim_spmd: shard count differs from machine nodes";
+  let st =
+    {
+      machine;
+      scale;
+      source = prog.Spmd.Prog.source;
+      block;
+      ctl = Array.make block.Spmd.Prog.shards 0.;
+      scalar_ready = Array.make block.Spmd.Prog.shards 0.;
+      last_completion = Array.make block.Spmd.Prog.shards 0.;
+      pools =
+        Array.init machine.Realm.Machine.nodes (fun _ ->
+            Realm.Cores.create ~cores:(Realm.Machine.compute_cores machine));
+      avail = Hashtbl.create 1024;
+      readers_done = Hashtbl.create 1024;
+      pairsets = Hashtbl.create 16;
+      arrival = Hashtbl.create 1024;
+      release = Hashtbl.create 1024;
+      tasks_run = 0;
+      copies_run = 0;
+      bytes_moved = 0.;
+    }
+  in
+  (* Dynamic intersections, computed once up front (§3.3; the paper lifts
+     them to program start via loop-invariant code motion). *)
+  List.iter
+    (fun (c : Spmd.Prog.copy) ->
+      match (c.Spmd.Prog.src, c.Spmd.Prog.dst) with
+      | Spmd.Prog.Opart ps, Spmd.Prog.Opart pd ->
+          let src = Program.find_partition st.source ps
+          and dst = Program.find_partition st.source pd in
+          let pairs =
+            match c.Spmd.Prog.pairs with
+            | `Sparse -> Spmd.Intersections.compute ~src ~dst ()
+            | `Dense -> Spmd.Intersections.compute_all_pairs ~src ~dst ()
+          in
+          Hashtbl.replace st.pairsets c.Spmd.Prog.copy_id pairs
+      | _ -> ())
+    block.Spmd.Prog.copies;
+  (* The measured region: the block's time loop, re-run for [steps]
+     simulated timesteps regardless of the source loop's count. *)
+  let loop_body =
+    match block.Spmd.Prog.body with
+    | [ Spmd.Prog.For_time { body; _ } ] -> body
+    | body -> body
+  in
+  let mark () =
+    let m = ref 0. in
+    for s = 0 to block.Spmd.Prog.shards - 1 do
+      m := Float.max !m (Float.max st.ctl.(s) st.last_completion.(s))
+    done;
+    !m
+  in
+  let warmup = min 2 (steps - 1) in
+  let warm_mark = ref 0. in
+  for step = 1 to steps do
+    List.iter (exec_instr st) loop_body;
+    if step = warmup then warm_mark := mark ()
+  done;
+  let total = mark () in
+  {
+    per_step =
+      (if steps > warmup then (total -. !warm_mark) /. float_of_int (steps - warmup)
+       else total /. float_of_int steps);
+    total;
+    tasks_run = st.tasks_run;
+    copies_run = st.copies_run;
+    bytes_moved = st.bytes_moved;
+  }

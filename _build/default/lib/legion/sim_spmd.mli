@@ -1,0 +1,30 @@
+(** Critical-path simulation of a control-replicated program on a machine
+    model.
+
+    One shard per node. Each shard's control thread issues its owned tasks
+    and copies, paying launch and analysis overhead per operation but never
+    blocking on their results (Legion's deferred execution model, §4.1);
+    data dependencies, copy arrivals, write-after-read releases, global
+    barriers and the scalar collective advance per-entity timestamps
+    instead. Tasks occupy node cores; copies pay the network model.
+
+    The simulated duration covers the first replicated block's time loop
+    re-run for [steps] iterations (initialization and finalization sit
+    outside the measured region, as in the paper's methodology). *)
+
+type result = {
+  per_step : float; (* seconds per timestep, steady state *)
+  total : float;
+  tasks_run : int;
+  copies_run : int;
+  bytes_moved : float;
+}
+
+val simulate :
+  machine:Realm.Machine.t ->
+  ?scale:Scale.t ->
+  ?steps:int ->
+  Spmd.Prog.t ->
+  result
+(** The block's shard count must equal [machine.nodes]. Raises
+    [Invalid_argument] if the program has no replicated block. *)

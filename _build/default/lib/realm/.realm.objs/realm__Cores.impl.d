@@ -1,0 +1,1 @@
+lib/realm/cores.ml: Array Float

@@ -1,0 +1,1 @@
+lib/realm/machine.mli:

@@ -1,0 +1,25 @@
+(* A binary min-heap of core free times would be asymptotically right, but
+   pools are at most a few dozen cores: a linear scan is simpler and just as
+   fast at that size. *)
+
+type t = { free_at : float array }
+
+let create ~cores =
+  if cores <= 0 then invalid_arg "Cores.create: cores <= 0";
+  { free_at = Array.make cores 0. }
+
+let cores t = Array.length t.free_at
+
+let execute t ~ready ~duration =
+  let best = ref 0 in
+  for i = 1 to Array.length t.free_at - 1 do
+    if t.free_at.(i) < t.free_at.(!best) then best := i
+  done;
+  let start = Float.max ready t.free_at.(!best) in
+  let finish = start +. duration in
+  t.free_at.(!best) <- finish;
+  finish
+
+let busy_until t = Array.fold_left Float.max 0. t.free_at
+
+let reset t = Array.fill t.free_at 0 (Array.length t.free_at) 0.

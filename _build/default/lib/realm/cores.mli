@@ -1,0 +1,20 @@
+(** Analytic multiserver core pool.
+
+    Tasks submitted in nondecreasing ready-time order are placed on the
+    earliest-free core; the pool tracks each core's next free instant.
+    This models intra-node task scheduling without an event loop: the
+    completion timestamp of each task is returned directly. *)
+
+type t
+
+val create : cores:int -> t
+val cores : t -> int
+
+val execute : t -> ready:float -> duration:float -> float
+(** Completion time of a task that becomes ready at [ready] and runs for
+    [duration] on one core. *)
+
+val busy_until : t -> float
+(** When the last core frees up. *)
+
+val reset : t -> unit

@@ -1,0 +1,72 @@
+type t = {
+  nodes : int;
+  cores_per_node : int;
+  dedicated_analysis_core : bool;
+  launch_overhead : float;
+  copy_issue_overhead : float;
+  analysis_overhead : float;
+  local_analysis_overhead : float;
+  network_latency : float;
+  network_bandwidth : float;
+  memory_bandwidth : float;
+  sync_latency : float;
+  bytes_per_element : float;
+  task_noise : float;
+}
+
+let make ~nodes ?(cores_per_node = 12) ?(dedicated_analysis_core = true)
+    ?(launch_overhead = 25e-6) ?(copy_issue_overhead = 5e-6)
+    ?(analysis_overhead = 1.2e-3)
+    ?(local_analysis_overhead = 25e-6) ?(network_latency = 1.5e-6)
+    ?(network_bandwidth = 10e9) ?(memory_bandwidth = 60e9)
+    ?(sync_latency = 2e-6) ?(bytes_per_element = 8.) ?(task_noise = 0.) () =
+  if nodes <= 0 then invalid_arg "Machine.make: nodes <= 0";
+  {
+    nodes;
+    cores_per_node;
+    dedicated_analysis_core;
+    launch_overhead;
+    copy_issue_overhead;
+    analysis_overhead;
+    local_analysis_overhead;
+    network_latency;
+    network_bandwidth;
+    memory_bandwidth;
+    sync_latency;
+    bytes_per_element;
+    task_noise;
+  }
+
+(* A cheap integer hash (splitmix-style) mapped to [0,1), shaped into an
+   exponential tail: real OS/hardware noise is heavy-tailed, which is what
+   makes per-step global synchronisation expensive — the expected maximum
+   over n tasks grows like ln n instead of saturating. Capped at 6 tail
+   units to keep single outliers bounded. *)
+let jitter t ~key =
+  if t.task_noise = 0. then 1.
+  else begin
+    let h = ref (key * 0x9E3779B9) in
+    h := (!h lxor (!h lsr 16)) * 0x85EBCA6B;
+    h := (!h lxor (!h lsr 13)) * 0xC2B2AE35;
+    h := !h lxor (!h lsr 16);
+    let u = float_of_int (!h land 0xFFFFFF) /. float_of_int 0x1000000 in
+    let tail = Float.min 6. (-.Float.log (1. -. u)) in
+    1. +. (t.task_noise *. tail)
+  end
+
+let piz_daint ~nodes = make ~nodes ()
+
+let compute_cores t =
+  if t.dedicated_analysis_core then max 1 (t.cores_per_node - 1)
+  else t.cores_per_node
+
+let transfer_time t ~src_node ~dst_node ~bytes =
+  if src_node = dst_node then bytes /. t.memory_bandwidth
+  else t.network_latency +. (bytes /. t.network_bandwidth)
+
+let log2_nodes t =
+  ceil (Float.log2 (float_of_int (max 2 t.nodes)))
+
+let collective_time t = 2. *. log2_nodes t *. t.sync_latency
+
+let barrier_time t = 2. *. log2_nodes t *. t.sync_latency

@@ -1,0 +1,85 @@
+(** Machine models for the critical-path simulator.
+
+    The simulator charges the costs the paper's evaluation turns on:
+
+    - {b control overhead}: a control thread pays [launch_overhead] +
+      [analysis_overhead] per subtask it launches. In the implicit model a
+      single master pays it for {e every} task in the system — the O(N)
+      bottleneck of Fig. 1 — while under control replication each shard
+      pays it only for its own tasks;
+    - {b compute}: a task occupies one core of its node for its cost-model
+      duration;
+    - {b communication}: a transfer of [b] bytes between distinct nodes
+      costs [network_latency + b / network_bandwidth]; intra-node copies
+      cost [b / memory_bandwidth];
+    - {b synchronisation}: global barriers and collectives pay a
+      log2(nodes)-scaled latency; point-to-point synchronisation is free
+      beyond the message latency already charged to the copy.
+
+    The [piz_daint] preset models a Cray XC50 node (12-core Xeon E5-2690
+    v3, Aries interconnect) as used in the paper's evaluation; constants
+    are order-of-magnitude published figures, not measurements. *)
+
+type t = {
+  nodes : int;
+  cores_per_node : int;
+  dedicated_analysis_core : bool;
+      (** Legion dedicates a core per node to runtime analysis (§5.3), so
+          application kernels see one core fewer. *)
+  launch_overhead : float; (** s per subtask launch on a control thread *)
+  copy_issue_overhead : float;
+      (** s of control-thread time to issue one copy (cheaper than a task
+          launch: no mapping or privilege analysis) *)
+  analysis_overhead : float;
+      (** s of dynamic dependence analysis per task on the {e single
+          master} of the implicit model — the analysis spans the whole
+          machine's region tree and instance state, so it is far costlier
+          than a launch. Control replication removes it (§4.1). *)
+  local_analysis_overhead : float;
+      (** s of intra-shard dependence analysis per task under control
+          replication — Legion still analyses parallelism within a shard
+          (§4.1), but against shard-local state only. *)
+  network_latency : float; (** s per inter-node message *)
+  network_bandwidth : float; (** bytes/s per link *)
+  memory_bandwidth : float; (** bytes/s for intra-node copies *)
+  sync_latency : float; (** s per barrier/collective hop *)
+  bytes_per_element : float; (** payload size of one field element *)
+  task_noise : float;
+      (** fractional task-duration variability (OS and hardware noise):
+          each task runs for [duration * (1 + task_noise * u)] with a
+          deterministic pseudo-random [u] in [0,1). Programs with per-step
+          global synchronisation (PENNANT's dt reduction) are slowed by the
+          slowest task; fully asynchronous pipelines hide most of it. *)
+}
+
+val jitter : t -> key:int -> float
+(** The deterministic noise multiplier for a task identified by [key]. *)
+
+val make :
+  nodes:int ->
+  ?cores_per_node:int ->
+  ?dedicated_analysis_core:bool ->
+  ?launch_overhead:float ->
+  ?copy_issue_overhead:float ->
+  ?analysis_overhead:float ->
+  ?local_analysis_overhead:float ->
+  ?network_latency:float ->
+  ?network_bandwidth:float ->
+  ?memory_bandwidth:float ->
+  ?sync_latency:float ->
+  ?bytes_per_element:float ->
+  ?task_noise:float ->
+  unit ->
+  t
+
+val piz_daint : nodes:int -> t
+
+val compute_cores : t -> int
+(** Cores available to application kernels per node. *)
+
+val transfer_time : t -> src_node:int -> dst_node:int -> bytes:float -> float
+
+val collective_time : t -> float
+(** A log-tree reduction + broadcast across all nodes. *)
+
+val barrier_time : t -> float

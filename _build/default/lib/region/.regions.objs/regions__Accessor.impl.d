@@ -1,0 +1,1 @@
+lib/region/accessor.ml: Field Format Index_space Physical Privilege

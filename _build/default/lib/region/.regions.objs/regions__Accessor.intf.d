@@ -1,0 +1,1 @@
+lib/region/accessor.mli: Field Index_space Physical Privilege

@@ -1,0 +1,1 @@
+lib/region/field.ml: Format Hashtbl Int Mutex

@@ -1,0 +1,1 @@
+lib/region/field.mli: Format

@@ -1,0 +1,1 @@
+lib/region/index_space.ml: Array Format Geometry Int Interval List Printf Rect Sorted_iset

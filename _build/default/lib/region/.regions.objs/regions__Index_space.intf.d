@@ -1,0 +1,1 @@
+lib/region/index_space.mli: Format Geometry Interval Rect Sorted_iset

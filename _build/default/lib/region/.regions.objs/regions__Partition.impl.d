@@ -1,0 +1,1 @@
+lib/region/partition.ml: Array Format Geometry Index_space List Mutex Point Printf Rect Region Sorted_iset

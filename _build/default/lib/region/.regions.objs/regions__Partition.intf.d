@@ -1,0 +1,1 @@
+lib/region/partition.mli: Format Geometry Index_space Region

@@ -1,0 +1,1 @@
+lib/region/physical.ml: Array Field Geometry Hashtbl Index_space List Printf Privilege Region Sorted_iset

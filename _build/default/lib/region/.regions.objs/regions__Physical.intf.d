@@ -1,0 +1,1 @@
+lib/region/physical.mli: Field Index_space Privilege Region

@@ -1,0 +1,1 @@
+lib/region/privilege.ml: Field Float Format

@@ -1,0 +1,1 @@
+lib/region/privilege.mli: Field Format

@@ -1,0 +1,1 @@
+lib/region/region.ml: Field Format Index_space Int List Mutex

@@ -1,0 +1,1 @@
+lib/region/region.mli: Field Format Index_space

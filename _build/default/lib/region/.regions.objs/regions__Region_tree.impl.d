@@ -1,0 +1,1 @@
+lib/region/region_tree.ml: Array Hashtbl Option Partition Printf Region

@@ -1,0 +1,1 @@
+lib/region/region_tree.mli: Partition Region

@@ -1,0 +1,77 @@
+exception Privilege_violation of string
+
+type t = {
+  inst : Physical.t;
+  space : Index_space.t;
+  privs : Privilege.t list;
+}
+
+let make inst ~space privs =
+  if not (Index_space.subset space (Physical.ispace inst)) then
+    invalid_arg "Accessor.make: space not contained in instance";
+  { inst; space; privs }
+
+let space t = t.space
+let privileges t = t.privs
+
+let violation fmt = Format.kasprintf (fun s -> raise (Privilege_violation s)) fmt
+
+let mode_of t f =
+  let rec find = function
+    | [] -> None
+    | (p : Privilege.t) :: rest ->
+        if Field.equal p.Privilege.field f then Some p.Privilege.mode
+        else find rest
+  in
+  find t.privs
+
+let check_elt t id =
+  if not (Index_space.mem t.space id) then
+    violation "access to element %d outside the argument's index space" id
+
+let get t f id =
+  check_elt t id;
+  match mode_of t f with
+  | Some (Privilege.Read | Privilege.Read_write) -> Physical.get t.inst f id
+  | Some (Privilege.Reduce _) ->
+      violation "read of field %s under a reduce-only privilege" (Field.name f)
+  | None -> violation "read of undeclared field %s" (Field.name f)
+
+let set t f id v =
+  check_elt t id;
+  match mode_of t f with
+  | Some Privilege.Read_write -> Physical.set t.inst f id v
+  | Some Privilege.Read ->
+      violation "write to field %s under a read-only privilege" (Field.name f)
+  | Some (Privilege.Reduce _) ->
+      violation "write to field %s under a reduce-only privilege" (Field.name f)
+  | None -> violation "write to undeclared field %s" (Field.name f)
+
+let reduce_with t ~op f id v =
+  check_elt t id;
+  Physical.update t.inst f id (fun old -> Privilege.apply_redop op old v)
+
+let reduce t f id v =
+  match mode_of t f with
+  | Some (Privilege.Reduce op) -> reduce_with t ~op f id v
+  | Some Privilege.Read_write ->
+      violation
+        "reduce to field %s under reads-writes: use reduce_op to name the \
+         operator"
+        (Field.name f)
+  | Some Privilege.Read ->
+      violation "reduce to field %s under a read-only privilege" (Field.name f)
+  | None -> violation "reduce to undeclared field %s" (Field.name f)
+
+let reduce_op t ~op f id v =
+  match mode_of t f with
+  | Some (Privilege.Reduce op') when op' = op -> reduce_with t ~op f id v
+  | Some Privilege.Read_write -> reduce_with t ~op f id v
+  | Some (Privilege.Reduce _) ->
+      violation "reduce to field %s with a mismatched operator" (Field.name f)
+  | Some Privilege.Read ->
+      violation "reduce to field %s under a read-only privilege" (Field.name f)
+  | None -> violation "reduce to undeclared field %s" (Field.name f)
+
+let iter t f = Index_space.iter_ids f t.space
+let cardinal t = Index_space.cardinal t.space

@@ -1,0 +1,38 @@
+(** Privilege-checked views of physical instances.
+
+    Task kernels never touch {!Physical} instances directly: they receive
+    accessors that enforce the task's declared privileges — Regent's
+    strictness property (paper §2.1), which is what lets control replication
+    ignore task bodies entirely. An access outside the declared privileges
+    raises {!Privilege_violation} (and tests assert this fires). Accessors
+    also restrict the view to the task argument's index space, so a kernel
+    cannot reach elements of the parent region outside its subregion. *)
+
+exception Privilege_violation of string
+
+type t
+
+val make : Physical.t -> space:Index_space.t -> Privilege.t list -> t
+(** A view of [inst] restricted to [space] under the given privileges.
+    [space] must be a subset of the instance's index space. *)
+
+val space : t -> Index_space.t
+val privileges : t -> Privilege.t list
+
+val get : t -> Field.t -> int -> float
+(** Requires [Read] or [Read_write] on the field. *)
+
+val set : t -> Field.t -> int -> float -> unit
+(** Requires [Read_write] on the field. *)
+
+val reduce : t -> Field.t -> int -> float -> unit
+(** Folds the value with the declared operator; requires [Reduce _] or
+    [Read_write] on the field (under [Read_write] the caller passes the
+    operator explicitly via {!reduce_op}). *)
+
+val reduce_op : t -> op:Privilege.redop -> Field.t -> int -> float -> unit
+
+val iter : t -> (int -> unit) -> unit
+(** Iterate the accessor's index space (global identifiers). *)
+
+val cardinal : t -> int

@@ -1,0 +1,21 @@
+type t = { id : int; name : string }
+
+let table : (string, t) Hashtbl.t = Hashtbl.create 64
+let next = ref 0
+let lock = Mutex.create ()
+
+let make name =
+  Mutex.protect lock (fun () ->
+      match Hashtbl.find_opt table name with
+      | Some f -> f
+      | None ->
+          let f = { id = !next; name } in
+          incr next;
+          Hashtbl.add table name f;
+          f)
+
+let name f = f.name
+let id f = f.id
+let equal a b = a.id = b.id
+let compare a b = Int.compare a.id b.id
+let pp ppf f = Format.pp_print_string ppf f.name

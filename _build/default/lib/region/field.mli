@@ -1,0 +1,15 @@
+(** Fields of a region's field space.
+
+    Every field holds one [float] per element (the element data type does not
+    matter for control replication — paper §2.1 — so a single scalar type
+    keeps the physical layer simple). Fields are interned: equal names map to
+    equal ids, so field sets can be compared cheaply. *)
+
+type t
+
+val make : string -> t
+val name : t -> string
+val id : t -> int
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,229 @@
+open Geometry
+
+type universe = Structured of Rect.t | Unstructured of int
+
+(* Structured spaces hold a pairwise-disjoint rectangle decomposition;
+   unstructured spaces hold the sorted identifier set. *)
+type t =
+  | S of { u : Rect.t; rects : Rect.t list }
+  | U of { n : int; elts : Sorted_iset.t }
+
+let universe = function
+  | S { u; _ } -> Structured u
+  | U { n; _ } -> Unstructured n
+
+(* [rect_diff r s] is r \ s as a list of disjoint rectangles, carved one
+   axis-aligned slab at a time. *)
+let rect_diff (r : Rect.t) (s : Rect.t) : Rect.t list =
+  match Rect.intersect r s with
+  | None -> [ r ]
+  | Some _ ->
+      let d = Rect.dim r in
+      let pieces = ref [] in
+      let cur_lo = ref r.Rect.lo and cur_hi = ref r.Rect.hi in
+      for i = 0 to d - 1 do
+        if !cur_lo.(i) < s.Rect.lo.(i) then begin
+          let hi = Array.copy !cur_hi in
+          hi.(i) <- s.Rect.lo.(i) - 1;
+          pieces := Rect.make !cur_lo hi :: !pieces;
+          let lo = Array.copy !cur_lo in
+          lo.(i) <- s.Rect.lo.(i);
+          cur_lo := lo
+        end;
+        if !cur_hi.(i) > s.Rect.hi.(i) then begin
+          let lo = Array.copy !cur_lo in
+          lo.(i) <- s.Rect.hi.(i) + 1;
+          pieces := Rect.make lo !cur_hi :: !pieces;
+          let hi = Array.copy !cur_hi in
+          hi.(i) <- s.Rect.hi.(i);
+          cur_hi := hi
+        end
+      done;
+      !pieces
+
+let rects_diff ra rb =
+  List.concat_map
+    (fun a -> List.fold_left (fun acc b -> List.concat_map (fun p -> rect_diff p b) acc) [ a ] rb)
+    ra
+
+let rect_diff_list r acc =
+  List.fold_left (fun ps b -> List.concat_map (fun p -> rect_diff p b) ps) [ r ] acc
+
+(* Normalise an arbitrary rectangle list into a disjoint one. *)
+let disjointify rl =
+  List.fold_left (fun acc r -> acc @ rect_diff_list r acc) [] rl
+
+let of_rect r = S { u = r; rects = [ r ] }
+
+let of_rects ~universe rl =
+  List.iter
+    (fun r ->
+      if not (Rect.contains_rect universe r) then
+        invalid_arg
+          (Printf.sprintf "Index_space.of_rects: %s outside universe %s"
+             (Rect.to_string r) (Rect.to_string universe)))
+    rl;
+  S { u = universe; rects = disjointify rl }
+
+let of_range n =
+  if n < 0 then invalid_arg "Index_space.of_range";
+  U { n; elts = Sorted_iset.range 0 (n - 1) }
+
+let of_iset ~universe_size elts =
+  if (not (Sorted_iset.is_empty elts))
+     && (Sorted_iset.min_elt elts < 0
+        || Sorted_iset.max_elt elts >= universe_size)
+  then invalid_arg "Index_space.of_iset: element outside universe";
+  U { n = universe_size; elts }
+
+let empty_like = function
+  | S { u; _ } -> S { u; rects = [] }
+  | U { n; _ } -> U { n; elts = Sorted_iset.empty }
+
+let full = function
+  | S { u; _ } -> S { u; rects = [ u ] }
+  | U { n; _ } -> U { n; elts = Sorted_iset.range 0 (n - 1) }
+
+let same_universe a b =
+  match (a, b) with
+  | S { u = ua; _ }, S { u = ub; _ } -> Rect.equal ua ub
+  | U { n = na; _ }, U { n = nb; _ } -> na = nb
+  | _ -> false
+
+let check_same a b =
+  if not (same_universe a b) then
+    invalid_arg "Index_space: universe mismatch"
+
+let cardinal = function
+  | S { rects; _ } -> List.fold_left (fun n r -> n + Rect.volume r) 0 rects
+  | U { elts; _ } -> Sorted_iset.cardinal elts
+
+let is_empty t = cardinal t = 0
+
+let mem t id =
+  match t with
+  | S { u; rects } ->
+      id >= 0 && id < Rect.volume u
+      &&
+      let p = Rect.delinearize u id in
+      List.exists (fun r -> Rect.contains r p) rects
+  | U { elts; _ } -> Sorted_iset.mem elts id
+
+let inter a b =
+  check_same a b;
+  match (a, b) with
+  | S { u; rects = ra }, S { rects = rb; _ } ->
+      let rs =
+        List.concat_map
+          (fun x -> List.filter_map (fun y -> Rect.intersect x y) rb)
+          ra
+      in
+      S { u; rects = rs }
+  | U { n; elts = ea }, U { elts = eb; _ } ->
+      U { n; elts = Sorted_iset.inter ea eb }
+  | _ -> assert false
+
+let diff a b =
+  check_same a b;
+  match (a, b) with
+  | S { u; rects = ra }, S { rects = rb; _ } ->
+      S { u; rects = rects_diff ra rb }
+  | U { n; elts = ea }, U { elts = eb; _ } ->
+      U { n; elts = Sorted_iset.diff ea eb }
+  | _ -> assert false
+
+let union a b =
+  check_same a b;
+  match (a, b) with
+  | S { u; rects = ra }, (S _ as b') -> (
+      match diff b' a with
+      | S { rects = extra; _ } -> S { u; rects = ra @ extra }
+      | U _ -> assert false)
+  | U { n; elts = ea }, U { elts = eb; _ } ->
+      U { n; elts = Sorted_iset.union ea eb }
+  | _ -> assert false
+
+let disjoint a b =
+  check_same a b;
+  match (a, b) with
+  | S { rects = ra; _ }, S { rects = rb; _ } ->
+      not (List.exists (fun x -> List.exists (Rect.overlap x) rb) ra)
+  | U { elts = ea; _ }, U { elts = eb; _ } -> Sorted_iset.disjoint ea eb
+  | _ -> assert false
+
+let subset a b = is_empty (diff a b)
+let equal a b = cardinal a = cardinal b && subset a b
+
+let ids = function
+  | U { elts; _ } -> elts
+  | S { u; rects } ->
+      let total = List.fold_left (fun n r -> n + Rect.volume r) 0 rects in
+      let out = Array.make total 0 in
+      let w = ref 0 in
+      List.iter
+        (fun r ->
+          Rect.iter
+            (fun p ->
+              out.(!w) <- Rect.linearize u p;
+              incr w)
+            r)
+        rects;
+      Array.sort Int.compare out;
+      Sorted_iset.of_sorted_array_unchecked out
+
+let iter_ids f t =
+  match t with
+  | U { elts; _ } -> Sorted_iset.iter f elts
+  | S { u; rects = [ r ]; _ } -> Rect.iter (fun p -> f (Rect.linearize u p)) r
+  | S _ -> Sorted_iset.iter f (ids t)
+
+let fold_ids f init t =
+  let acc = ref init in
+  iter_ids (fun id -> acc := f !acc id) t;
+  !acc
+
+let rects = function
+  | S { rects; _ } -> rects
+  | U _ -> invalid_arg "Index_space.rects: unstructured space"
+
+let bounds_interval t =
+  match t with
+  | U { elts; _ } ->
+      if Sorted_iset.is_empty elts then None
+      else Some (Interval.make (Sorted_iset.min_elt elts) (Sorted_iset.max_elt elts))
+  | S { u; rects } -> (
+      match rects with
+      | [] -> None
+      | r0 :: rest ->
+          let lo = ref (Rect.linearize u r0.Rect.lo)
+          and hi = ref (Rect.linearize u r0.Rect.hi) in
+          List.iter
+            (fun (r : Rect.t) ->
+              lo := min !lo (Rect.linearize u r.Rect.lo);
+              hi := max !hi (Rect.linearize u r.Rect.hi))
+            rest;
+          Some (Interval.make !lo !hi))
+
+let id_runs = function
+  | U { elts; _ } -> Sorted_iset.runs elts
+  | S _ -> invalid_arg "Index_space.id_runs: structured space"
+
+let bounding_rect = function
+  | U _ -> invalid_arg "Index_space.bounding_rect: unstructured space"
+  | S { rects = []; _ } -> None
+  | S { rects = r0 :: rest; _ } ->
+      Some (List.fold_left Rect.union_bbox r0 rest)
+
+let is_structured = function S _ -> true | U _ -> false
+
+let pp ppf = function
+  | S { rects; _ } ->
+      Format.fprintf ppf "@[<h>%a@]"
+        (Format.pp_print_list ~pp_sep:Format.pp_print_space Rect.pp)
+        rects
+  | U { elts; _ } ->
+      if Sorted_iset.cardinal elts > 16 then
+        Format.fprintf ppf "{%d elements in [%d..%d]}"
+          (Sorted_iset.cardinal elts) (Sorted_iset.min_elt elts)
+          (Sorted_iset.max_elt elts)
+      else Sorted_iset.pp ppf elts

@@ -1,0 +1,280 @@
+open Geometry
+
+type disjointness = Disjoint | Aliased
+
+type t = {
+  id : int;
+  name : string;
+  parent : Region.t;
+  subs : Region.t array;
+  disjointness : disjointness;
+}
+
+let next = ref 0
+let lock = Mutex.create ()
+
+let fresh_id () =
+  Mutex.protect lock (fun () ->
+      let id = !next in
+      incr next;
+      id)
+
+let make ~name ~parent ~subs ~disjointness =
+  { id = fresh_id (); name; parent; subs; disjointness }
+
+let color_count t = Array.length t.subs
+
+let sub t c =
+  if c < 0 || c >= color_count t then
+    invalid_arg
+      (Printf.sprintf "Partition.sub: color %d of %s (%d colors)" c t.name
+         (color_count t));
+  t.subs.(c)
+
+let color_of_sub t r =
+  let found = ref None in
+  Array.iteri
+    (fun c s -> if Region.equal s r && !found = None then found := Some c)
+    t.subs;
+  !found
+
+let equal a b = a.id = b.id
+
+let pp ppf t =
+  Format.fprintf ppf "%s#%d(%d colors, %s)" t.name t.id (color_count t)
+    (match t.disjointness with Disjoint -> "disjoint" | Aliased -> "aliased")
+
+let sub_name name c = Printf.sprintf "%s[%d]" name c
+
+let of_subspaces ~name ~disjointness parent spaces =
+  let subs =
+    Array.mapi
+      (fun c sp -> Region.subregion parent ~name:(sub_name name c) sp)
+      spaces
+  in
+  make ~name ~parent ~subs ~disjointness
+
+let block ~name (r : Region.t) ~pieces =
+  if pieces <= 0 then invalid_arg "Partition.block: pieces <= 0";
+  let spaces =
+    if Index_space.is_structured r.Region.ispace then
+      match Index_space.bounding_rect r.Region.ispace with
+      | None ->
+          Array.make pieces (Index_space.empty_like r.Region.ispace)
+      | Some bbox ->
+          let u =
+            match Index_space.universe r.Region.ispace with
+            | Index_space.Structured u -> u
+            | Index_space.Unstructured _ -> assert false
+          in
+          Array.init pieces (fun c ->
+              match
+                Rect.block_1d ~lo:bbox.Rect.lo.(0) ~hi:bbox.Rect.hi.(0)
+                  ~pieces ~index:c
+              with
+              | None -> Index_space.empty_like r.Region.ispace
+              | Some (lo, hi) ->
+                  let slab_lo = Array.copy bbox.Rect.lo
+                  and slab_hi = Array.copy bbox.Rect.hi in
+                  slab_lo.(0) <- lo;
+                  slab_hi.(0) <- hi;
+                  let slab = Rect.make slab_lo slab_hi in
+                  Index_space.inter r.Region.ispace
+                    (Index_space.of_rects ~universe:u [ slab ]))
+    else
+      let elts = Index_space.ids r.Region.ispace in
+      let usize =
+        match Index_space.universe r.Region.ispace with
+        | Index_space.Unstructured n -> n
+        | Index_space.Structured _ -> assert false
+      in
+      Array.init pieces (fun c ->
+          Index_space.of_iset ~universe_size:usize
+            (Sorted_iset.choose_block elts ~pieces ~index:c))
+  in
+  of_subspaces ~name ~disjointness:Disjoint r spaces
+
+let block_grid ~name (r : Region.t) ~grid =
+  let bbox =
+    match Index_space.bounding_rect r.Region.ispace with
+    | Some b -> b
+    | None -> invalid_arg "Partition.block_grid: empty region"
+  in
+  let d = Rect.dim bbox in
+  if Array.length grid <> d then
+    invalid_arg "Partition.block_grid: grid rank mismatch";
+  let u =
+    match Index_space.universe r.Region.ispace with
+    | Index_space.Structured u -> u
+    | Index_space.Unstructured _ ->
+        invalid_arg "Partition.block_grid: unstructured region"
+  in
+  let colors = Array.fold_left ( * ) 1 grid in
+  let color_rect =
+    Rect.make (Point.zero d) (Array.map (fun g -> g - 1) grid)
+  in
+  let spaces =
+    Array.init colors (fun c ->
+        let cp = Rect.delinearize color_rect c in
+        let lo = Array.make d 0 and hi = Array.make d 0 in
+        let empty = ref false in
+        for i = 0 to d - 1 do
+          match
+            Rect.block_1d ~lo:bbox.Rect.lo.(i) ~hi:bbox.Rect.hi.(i)
+              ~pieces:grid.(i) ~index:cp.(i)
+          with
+          | None -> empty := true
+          | Some (l, h) ->
+              lo.(i) <- l;
+              hi.(i) <- h
+        done;
+        if !empty then Index_space.empty_like r.Region.ispace
+        else
+          Index_space.inter r.Region.ispace
+            (Index_space.of_rects ~universe:u [ Rect.make lo hi ]))
+  in
+  of_subspaces ~name ~disjointness:Disjoint r spaces
+
+let of_coloring ~name (r : Region.t) ~colors f =
+  if colors <= 0 then invalid_arg "Partition.of_coloring: colors <= 0";
+  let buckets = Array.make colors [] in
+  Index_space.iter_ids
+    (fun e ->
+      let c = f e in
+      if c >= 0 && c < colors then buckets.(c) <- e :: buckets.(c))
+    r.Region.ispace;
+  let usize =
+    match Index_space.universe r.Region.ispace with
+    | Index_space.Unstructured n -> n
+    | Index_space.Structured u -> Rect.volume u
+  in
+  let space_of_bucket b =
+    let ids = Sorted_iset.of_list b in
+    if Index_space.is_structured r.Region.ispace then
+      (* Rebuild as unit rectangles inside the structured universe. *)
+      let u =
+        match Index_space.universe r.Region.ispace with
+        | Index_space.Structured u -> u
+        | Index_space.Unstructured _ -> assert false
+      in
+      let rects =
+        Sorted_iset.fold
+          (fun acc id ->
+            let p = Rect.delinearize u id in
+            Rect.make p p :: acc)
+          [] ids
+      in
+      Index_space.of_rects ~universe:u rects
+    else Index_space.of_iset ~universe_size:usize ids
+  in
+  of_subspaces ~name ~disjointness:Disjoint r (Array.map space_of_bucket buckets)
+
+let image ~name ~target ~src h =
+  let usize =
+    match Index_space.universe target.Region.ispace with
+    | Index_space.Unstructured n -> n
+    | Index_space.Structured _ ->
+        invalid_arg "Partition.image: structured target (use image_rects)"
+  in
+  let spaces =
+    Array.map
+      (fun (s : Region.t) ->
+        let acc = ref [] in
+        Index_space.iter_ids
+          (fun e -> List.iter (fun x -> acc := x :: !acc) (h e))
+          s.Region.ispace;
+        let img =
+          Index_space.of_iset ~universe_size:usize (Sorted_iset.of_list !acc)
+        in
+        Index_space.inter img target.Region.ispace)
+      src.subs
+  in
+  of_subspaces ~name ~disjointness:Aliased target spaces
+
+let image_rects ~name ~target ~src f =
+  let u =
+    match Index_space.universe target.Region.ispace with
+    | Index_space.Structured u -> u
+    | Index_space.Unstructured _ ->
+        invalid_arg "Partition.image_rects: unstructured target"
+  in
+  let clip r = Rect.intersect r u in
+  let spaces =
+    Array.map
+      (fun (s : Region.t) ->
+        if Index_space.is_empty s.Region.ispace then
+          Index_space.empty_like target.Region.ispace
+        else
+          let rects =
+            List.concat_map
+              (fun rect -> List.filter_map clip (f rect))
+              (Index_space.rects s.Region.ispace)
+          in
+          Index_space.inter
+            (Index_space.of_rects ~universe:u rects)
+            target.Region.ispace)
+      src.subs
+  in
+  of_subspaces ~name ~disjointness:Aliased target spaces
+
+let preimage ~name ~src ~target h =
+  let spaces =
+    Array.map
+      (fun (tsub : Region.t) ->
+        let acc = ref [] in
+        Index_space.iter_ids
+          (fun e ->
+            if Index_space.mem tsub.Region.ispace (h e) then acc := e :: !acc)
+          src.Region.ispace;
+        match Index_space.universe src.Region.ispace with
+        | Index_space.Unstructured n ->
+            Index_space.of_iset ~universe_size:n (Sorted_iset.of_list !acc)
+        | Index_space.Structured u ->
+            let rects =
+              List.rev_map
+                (fun id ->
+                  let p = Rect.delinearize u id in
+                  Rect.make p p)
+                !acc
+            in
+            Index_space.of_rects ~universe:u rects)
+      target.subs
+  in
+  of_subspaces ~name ~disjointness:target.disjointness src spaces
+
+let pairwise_disjoint spaces =
+  let n = Array.length spaces in
+  let ok = ref true in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if !ok && not (Index_space.disjoint spaces.(i) spaces.(j)) then
+        ok := false
+    done
+  done;
+  !ok
+
+let of_explicit ~name ?disjoint (r : Region.t) spaces =
+  Array.iter
+    (fun sp ->
+      if not (Index_space.same_universe sp r.Region.ispace) then
+        invalid_arg "Partition.of_explicit: universe mismatch")
+    spaces;
+  let disjointness =
+    match disjoint with
+    | Some true -> Disjoint
+    | Some false -> Aliased
+    | None -> if pairwise_disjoint spaces then Disjoint else Aliased
+  in
+  of_subspaces ~name ~disjointness r spaces
+
+let intersect_region ~name t space =
+  let spaces =
+    Array.map
+      (fun (s : Region.t) -> Index_space.inter s.Region.ispace space)
+      t.subs
+  in
+  of_subspaces ~name ~disjointness:t.disjointness t.parent spaces
+
+let verify_disjoint t =
+  pairwise_disjoint
+    (Array.map (fun (s : Region.t) -> s.Region.ispace) t.subs)

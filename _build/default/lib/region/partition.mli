@@ -1,0 +1,72 @@
+(** Partitions: indexed families of subregions of a parent region.
+
+    A partition names the subsets of a region on which parallel computation
+    is carried out (paper §2.1). Multiple partitions of the same region may
+    coexist — the feature control replication leverages. Each partitioning
+    operator declares the {e disjointness} of its result: [Disjoint] means
+    the subregions are statically guaranteed pairwise non-overlapping
+    (e.g. {!block}); [Aliased] means they may overlap (e.g. {!image} through
+    an unconstrained function). Partitions need not cover the parent. *)
+
+type disjointness = Disjoint | Aliased
+
+type t = private {
+  id : int;
+  name : string;
+  parent : Region.t;
+  subs : Region.t array;
+  disjointness : disjointness;
+}
+
+val color_count : t -> int
+val sub : t -> int -> Region.t
+(** [sub t c] is the subregion of color [c]. *)
+
+val color_of_sub : t -> Region.t -> int option
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+(** {1 Partitioning operators} *)
+
+val block : name:string -> Region.t -> pieces:int -> t
+(** Nearly equal contiguous pieces: along axis 0 for structured regions, by
+    identifier rank for unstructured ones. Disjoint. *)
+
+val block_grid : name:string -> Region.t -> grid:int array -> t
+(** Structured regions only: a [grid.(0) x .. x grid.(d-1)] tiling of the
+    bounding rectangle, colors in row-major order. Disjoint. *)
+
+val of_coloring : name:string -> Region.t -> colors:int -> (int -> int) -> t
+(** [of_coloring r ~colors f] assigns element (global id) [e] to color
+    [f e]; elements with colors outside [0..colors-1] belong to no
+    subregion. Disjoint by construction. *)
+
+val image : name:string -> target:Region.t -> src:t -> (int -> int list) -> t
+(** [image ~target ~src h]: color [c] gets [{ h(e) | e in src[c] }],
+    clipped to [target] (unstructured targets). Aliased — [h] is
+    unconstrained (paper §2.1, line 22 of Fig. 2). *)
+
+val image_rects : name:string -> target:Region.t -> src:t ->
+  (Geometry.Rect.t -> Geometry.Rect.t list) -> t
+(** Structured analogue of {!image} for affine-style index functions: maps
+    each rectangle of [src]'s subregions through the given rectangle
+    function, clipping to [target]'s universe. Aliased. *)
+
+val preimage : name:string -> src:Region.t -> target:t -> (int -> int) -> t
+(** [preimage ~src ~target h]: color [c] gets [{ e in src | h(e) in
+    target[c] }]. Disjoint when [target] is disjoint ([h] is a function, so
+    preimages of disjoint sets are disjoint); aliased otherwise. *)
+
+val of_explicit :
+  name:string -> ?disjoint:bool -> Region.t -> Index_space.t array -> t
+(** Escape hatch used by applications that compute their partitions with
+    domain knowledge (as Regent's dependent-partitioning sub-language
+    would). [?disjoint] defaults to dynamically checking pairwise
+    disjointness; pass [~disjoint:false] to force [Aliased]. *)
+
+val intersect_region : name:string -> t -> Index_space.t -> t
+(** Restrict every subregion to the given index space, preserving
+    disjointness — used for hierarchical private/ghost trees (paper §4.5). *)
+
+val verify_disjoint : t -> bool
+(** Dynamic check that subregions are pairwise disjoint (test support). *)

@@ -1,0 +1,110 @@
+open Geometry
+
+type t = {
+  ispace : Index_space.t;
+  flds : Field.t list;
+  ids : Sorted_iset.t; (* sorted global ids; data arrays are parallel *)
+  contiguous : bool; (* ids = [min..max]: enables O(1) addressing *)
+  base : int; (* min id when contiguous *)
+  data : (int, float array) Hashtbl.t; (* field id -> values *)
+}
+
+let ispace t = t.ispace
+let fields t = t.flds
+
+let create_over ?(init = 0.) ispace flds =
+  let ids = Index_space.ids ispace in
+  let n = Sorted_iset.cardinal ids in
+  let contiguous, base =
+    if n = 0 then (true, 0)
+    else
+      let lo = Sorted_iset.min_elt ids and hi = Sorted_iset.max_elt ids in
+      (hi - lo + 1 = n, lo)
+  in
+  let data = Hashtbl.create (List.length flds) in
+  List.iter
+    (fun f -> Hashtbl.replace data (Field.id f) (Array.make n init))
+    flds;
+  { ispace; flds; ids; contiguous; base; data }
+
+let create ?init (r : Region.t) =
+  create_over ?init r.Region.ispace r.Region.fields
+
+let index_of t id =
+  if t.contiguous then begin
+    let k = id - t.base in
+    if k < 0 || k >= Sorted_iset.cardinal t.ids then
+      invalid_arg (Printf.sprintf "Physical: element %d not in instance" id);
+    k
+  end
+  else begin
+    let a = Sorted_iset.to_array t.ids in
+    let lo = ref 0 and hi = ref (Array.length a - 1) and res = ref (-1) in
+    while !res < 0 && !lo <= !hi do
+      let mid = (!lo + !hi) / 2 in
+      if a.(mid) = id then res := mid
+      else if a.(mid) < id then lo := mid + 1
+      else hi := mid - 1
+    done;
+    if !res < 0 then
+      invalid_arg (Printf.sprintf "Physical: element %d not in instance" id);
+    !res
+  end
+
+let column t f =
+  match Hashtbl.find_opt t.data (Field.id f) with
+  | Some a -> a
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Physical: no field %s in instance" (Field.name f))
+
+let get t f id = (column t f).(index_of t id)
+let set t f id v = (column t f).(index_of t id) <- v
+
+let update t f id g =
+  let a = column t f and k = index_of t id in
+  a.(k) <- g a.(k)
+
+let fill t f v = Array.fill (column t f) 0 (Sorted_iset.cardinal t.ids) v
+let fill_all t v = List.iter (fun f -> fill t f v) t.flds
+
+let shared_fields ?fields src dst =
+  match fields with
+  | Some fl -> fl
+  | None -> List.filter (fun f -> List.exists (Field.equal f) dst.flds) src.flds
+
+let transfer ~f ?fields ~src ~dst () =
+  let fl = shared_fields ?fields src dst in
+  let common = Index_space.inter src.ispace dst.ispace in
+  List.iter
+    (fun fld ->
+      let sc = column src fld and dc = column dst fld in
+      Index_space.iter_ids
+        (fun id ->
+          let si = index_of src id and di = index_of dst id in
+          dc.(di) <- f dc.(di) sc.(si))
+        common)
+    fl
+
+let copy_into ?fields ~src ~dst () =
+  transfer ~f:(fun _old v -> v) ?fields ~src ~dst ()
+
+let reduce_into ~op ?fields ~src ~dst () =
+  transfer ~f:(Privilege.apply_redop op) ?fields ~src ~dst ()
+
+let copy_volume ~src ~dst =
+  Index_space.cardinal (Index_space.inter src.ispace dst.ispace)
+
+let equal_on a b space fl =
+  let ok = ref true in
+  List.iter
+    (fun f ->
+      Index_space.iter_ids
+        (fun id -> if !ok && get a f id <> get b f id then ok := false)
+        space)
+    fl;
+  !ok
+
+let to_alist t f =
+  List.rev
+    (Sorted_iset.fold (fun acc id -> (id, get t f id) :: acc) [] t.ids)

@@ -1,0 +1,49 @@
+type redop = Sum | Prod | Min | Max
+
+type mode = Read | Read_write | Reduce of redop
+
+type t = { field : Field.t; mode : mode }
+
+let reads f = { field = f; mode = Read }
+let writes f = { field = f; mode = Read_write }
+let reduces op f = { field = f; mode = Reduce op }
+
+let apply_redop op a b =
+  match op with
+  | Sum -> a +. b
+  | Prod -> a *. b
+  | Min -> Float.min a b
+  | Max -> Float.max a b
+
+let identity_of = function
+  | Sum -> 0.
+  | Prod -> 1.
+  | Min -> Float.infinity
+  | Max -> Float.neg_infinity
+
+let conflicts a b =
+  match (a, b) with
+  | Read, Read -> false
+  | Reduce x, Reduce y -> x <> y
+  | _ -> true
+
+let subsumes caller callee =
+  match (caller, callee) with
+  | Read_write, _ -> true
+  | Read, Read -> true
+  | Reduce x, Reduce y -> x = y
+  | _ -> false
+
+let redop_to_string = function
+  | Sum -> "+"
+  | Prod -> "*"
+  | Min -> "min"
+  | Max -> "max"
+
+let mode_to_string = function
+  | Read -> "reads"
+  | Read_write -> "reads writes"
+  | Reduce op -> "reduces " ^ redop_to_string op
+
+let pp ppf t =
+  Format.fprintf ppf "%s(%a)" (mode_to_string t.mode) Field.pp t.field

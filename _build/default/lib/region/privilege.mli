@@ -1,0 +1,40 @@
+(** Task privileges on region arguments (paper §2.1).
+
+    A task declares, per region parameter and field, how it accesses the
+    data: read, write (meaning read-write here, as in Regent's
+    [reads writes]), or reduce with an associative-commutative operator.
+    Privileges are {e strict}: a task may only do what it declared, and may
+    only launch subtasks whose privileges its own subsume. Dependence
+    analysis and control replication reason about tasks purely through these
+    declarations. *)
+
+type redop = Sum | Prod | Min | Max
+
+type mode =
+  | Read
+  | Read_write
+  | Reduce of redop
+
+type t = { field : Field.t; mode : mode }
+
+val reads : Field.t -> t
+val writes : Field.t -> t
+(** [writes] grants read-write access. *)
+
+val reduces : redop -> Field.t -> t
+
+val apply_redop : redop -> float -> float -> float
+val identity_of : redop -> float
+
+val conflicts : mode -> mode -> bool
+(** Whether two accesses to overlapping data must be ordered. Two reads
+    never conflict; two reductions with the same operator never conflict;
+    everything else does. *)
+
+val subsumes : mode -> mode -> bool
+(** [subsumes caller callee]: may a task holding [caller] launch a subtask
+    needing [callee]? *)
+
+val mode_to_string : mode -> string
+val redop_to_string : redop -> string
+val pp : Format.formatter -> t -> unit

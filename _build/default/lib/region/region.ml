@@ -1,0 +1,29 @@
+type t = {
+  id : int;
+  name : string;
+  ispace : Index_space.t;
+  fields : Field.t list;
+}
+
+let next = ref 0
+let lock = Mutex.create ()
+
+let fresh_id () =
+  Mutex.protect lock (fun () ->
+      let id = !next in
+      incr next;
+      id)
+
+let create ~name ispace fields =
+  { id = fresh_id (); name; ispace; fields }
+
+let subregion t ~name ispace =
+  if not (Index_space.same_universe t.ispace ispace) then
+    invalid_arg "Region.subregion: universe mismatch";
+  { id = fresh_id (); name; ispace; fields = t.fields }
+
+let equal a b = a.id = b.id
+let compare a b = Int.compare a.id b.id
+let has_field t f = List.exists (Field.equal f) t.fields
+let cardinal t = Index_space.cardinal t.ispace
+let pp ppf t = Format.fprintf ppf "%s#%d" t.name t.id

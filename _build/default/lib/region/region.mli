@@ -1,0 +1,27 @@
+(** Logical regions: named collections of elements with fields.
+
+    A region pairs an index space with a field space. Declaring a region
+    allocates no memory (paper §2.1); storage lives in {!Physical} instances
+    created by the runtime. Regions carry a unique id so that region trees
+    and dependence analysis can key on identity. *)
+
+type t = private {
+  id : int;
+  name : string;
+  ispace : Index_space.t;
+  fields : Field.t list;
+}
+
+val create : name:string -> Index_space.t -> Field.t list -> t
+
+val subregion : t -> name:string -> Index_space.t -> t
+(** A new region over a subset of [t]'s index space with the same fields.
+    Raises [Invalid_argument] if the index space is not a subset of the
+    parent's universe. Registration in a {!Region_tree} is the caller's
+    business (partitioning operators do it). *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val has_field : t -> Field.t -> bool
+val cardinal : t -> int
+val pp : Format.formatter -> t -> unit

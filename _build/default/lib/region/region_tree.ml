@@ -1,0 +1,93 @@
+type node_parent =
+  | Root
+  | In_partition of Partition.t * int (* color *)
+
+type t = {
+  parents : (int, node_parent) Hashtbl.t; (* region id -> position *)
+  parts : (int, Partition.t list) Hashtbl.t; (* region id -> partitions *)
+}
+
+let create () = { parents = Hashtbl.create 64; parts = Hashtbl.create 64 }
+
+let mem_region t (r : Region.t) = Hashtbl.mem t.parents r.Region.id
+
+let register_root t (r : Region.t) =
+  if mem_region t r then invalid_arg "Region_tree: region already registered";
+  Hashtbl.add t.parents r.Region.id Root
+
+let register_partition t (p : Partition.t) =
+  let parent = p.Partition.parent in
+  if not (mem_region t parent) then
+    invalid_arg
+      (Printf.sprintf "Region_tree: parent %s of partition %s not registered"
+         parent.Region.name p.Partition.name);
+  let existing =
+    Option.value ~default:[] (Hashtbl.find_opt t.parts parent.Region.id)
+  in
+  Hashtbl.replace t.parts parent.Region.id (existing @ [ p ]);
+  Array.iteri
+    (fun c (s : Region.t) ->
+      if mem_region t s then
+        invalid_arg "Region_tree: subregion already registered";
+      Hashtbl.add t.parents s.Region.id (In_partition (p, c)))
+    p.Partition.subs
+
+let partitions_of t (r : Region.t) =
+  Option.value ~default:[] (Hashtbl.find_opt t.parts r.Region.id)
+
+let parent_of t (r : Region.t) =
+  match Hashtbl.find_opt t.parents r.Region.id with
+  | Some (In_partition (p, c)) -> Some (p, c)
+  | Some Root | None -> None
+
+(* The path from a region up to its root, as a list of (partition, color)
+   steps, nearest first. *)
+let path_to_root t (r : Region.t) =
+  let rec go acc r =
+    match parent_of t r with
+    | None -> (r, acc)
+    | Some (p, c) -> go ((p, c) :: acc) p.Partition.parent
+  in
+  (* Prepending while climbing leaves the list root-first. *)
+  go [] r
+
+let root_of t r = fst (path_to_root t r)
+
+let ancestor_regions t (r : Region.t) =
+  let rec go acc r =
+    match parent_of t r with
+    | None -> acc
+    | Some (p, _) ->
+        let parent = p.Partition.parent in
+        go (acc @ [ parent ]) parent
+  in
+  go [] r
+
+let provably_disjoint t (a : Region.t) (b : Region.t) =
+  if Region.equal a b then false
+  else if not (mem_region t a && mem_region t b) then false
+  else
+    let root_a, path_a = path_to_root t a and root_b, path_b = path_to_root t b in
+    if not (Region.equal root_a root_b) then
+      (* Different trees: never alias, but that is a vacuous kind of
+         disjointness; report it as disjoint. *)
+      true
+    else
+      (* Walk the two root-first paths together to the divergence point. *)
+      let rec walk pa pb =
+        match (pa, pb) with
+        | (p1, c1) :: ta, (p2, c2) :: tb ->
+            if Partition.equal p1 p2 then
+              if c1 = c2 then walk ta tb
+              else p1.Partition.disjointness = Partition.Disjoint
+            else
+              (* Same region partitioned two different ways: the partitions
+                 may overlap arbitrarily. *)
+              false
+        | [], _ | _, [] ->
+            (* One region is an ancestor of the other. *)
+            false
+      in
+      walk path_a path_b
+
+let may_alias t a b = not (provably_disjoint t a b)

@@ -1,0 +1,44 @@
+(** Runtime region trees (paper §2.3).
+
+    A region tree records the parent/child relationships between regions and
+    partitions: a region's children are the partitions declared on it; a
+    partition's children are its subregions. The tree supports the
+    disjointness test dependence analysis and control replication rely on:
+    two regions are {e provably disjoint} when the least common ancestor on
+    their paths is a disjoint partition and they descend through different
+    colors.
+
+    The tree is a registry: roots and partitions are registered as the
+    program declares them. A region may appear in at most one position
+    (regions have unique ids; partitioning always creates fresh
+    subregions). *)
+
+type t
+
+val create : unit -> t
+
+val register_root : t -> Region.t -> unit
+val register_partition : t -> Partition.t -> unit
+(** Registers the partition under its parent region and all its subregions
+    under it. The parent must already be present (as a root or as a
+    registered subregion). *)
+
+val mem_region : t -> Region.t -> bool
+val partitions_of : t -> Region.t -> Partition.t list
+val parent_of : t -> Region.t -> (Partition.t * int) option
+(** The partition (and color) this region is a subregion of, if any. *)
+
+val root_of : t -> Region.t -> Region.t
+
+val ancestor_regions : t -> Region.t -> Region.t list
+(** The region's chain of enclosing regions, nearest first, excluding
+    itself. *)
+
+val provably_disjoint : t -> Region.t -> Region.t -> bool
+(** The static LCA test: [true] only when the tree structure guarantees the
+    two regions can never share an element. Sound but incomplete — a [false]
+    answer means {e may} alias. *)
+
+val may_alias : t -> Region.t -> Region.t -> bool
+(** [not (provably_disjoint t a b)], with the convention that regions from
+    different trees never alias. *)

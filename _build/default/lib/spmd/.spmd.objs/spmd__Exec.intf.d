@@ -1,0 +1,1 @@
+lib/spmd/exec.mli: Interp Intersections Ir Prog

@@ -1,0 +1,1 @@
+lib/spmd/intersections.ml: Bvh Fun Geometry Hashtbl Index_space Interval_tree List Partition Region Regions Unix

@@ -1,0 +1,1 @@
+lib/spmd/prog.ml: Field Format Geometry Ir List Privilege Regions

@@ -1,0 +1,822 @@
+open Regions
+open Ir
+
+exception Deadlock of string
+
+type sched = [ `Round_robin | `Random of int | `Domains ]
+
+(* ---------- per-block runtime state ---------- *)
+
+type chan = { mutable war : int; mutable raw : int }
+
+(* One scalar collective (a Launch_collective instruction). A round: every
+   shard deposits its per-color partial results; the last depositor folds
+   them in ascending color order and publishes; every shard consumes; the
+   last consumer resets the slot for the next loop iteration. A shard that
+   races ahead to the next round blocks until the previous one is fully
+   drained. *)
+type collective_slot = {
+  mutable values : (int * float) list; (* (color, local result) *)
+  arrived : bool array; (* per shard, this round *)
+  mutable result : float option;
+  consumed : bool array;
+}
+
+type barrier_state = { mutable arrived : int; mutable generation : int }
+
+type bstate = {
+  source : Program.t;
+  ctx : Interp.Run.context;
+  block : Prog.block;
+  insts : (string * int, Physical.t) Hashtbl.t; (* (partition, color) *)
+  pairs : (int, Intersections.pairs) Hashtbl.t; (* copy_id -> pairs *)
+  chans : (int * int * int, chan) Hashtbl.t; (* (copy_id, i, j) *)
+  mailbox : (int * int, (int * Physical.t) list ref) Hashtbl.t;
+      (* (copy_id, dst color) -> staged reduction payloads *)
+  barrier : barrier_state;
+  mutable collectives : (Prog.instr * collective_slot) list;
+      (* keyed by the Launch_collective instruction itself, by physical
+         identity — two distinct collectives can be structurally equal, but
+         all shards share the same instruction values *)
+}
+
+let part_of_operand source = function
+  | Prog.Opart p -> Some (Program.find_partition source p)
+  | Prog.Oregion _ -> None
+
+let instance st pname color =
+  match Hashtbl.find_opt st.insts (pname, color) with
+  | Some inst -> inst
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Spmd.Exec: no instance for %s[%d]" pname color)
+
+(* Partitions mentioned anywhere in the block (launch arguments, copies,
+   fills) — each of their subregions gets its own storage (§3.1). *)
+let partitions_used (source : Program.t) (b : Prog.block) =
+  let acc = Hashtbl.create 16 in
+  let add name = Hashtbl.replace acc name () in
+  let add_operand = function
+    | Prog.Opart p -> add p
+    | Prog.Oregion _ -> ()
+  in
+  let add_launch (l : Types.launch) =
+    List.iter
+      (function Types.Part (p, _) -> add p | Types.Whole _ -> ())
+      l.Types.rargs
+  in
+  let rec go instrs =
+    List.iter
+      (function
+        | Prog.Launch { launch; _ } -> add_launch launch
+        | Prog.Launch_collective { launch; _ } -> add_launch launch
+        | Prog.Copy c ->
+            add_operand c.Prog.src;
+            add_operand c.Prog.dst
+        | Prog.Fill { part; _ } -> add part
+        | Prog.Await _ | Prog.Release _ | Prog.Barrier | Prog.Assign _ -> ()
+        | Prog.For_time { body; _ } -> go body)
+      instrs
+  in
+  go b.Prog.init;
+  go b.Prog.body;
+  go b.Prog.finalize;
+  Hashtbl.fold
+    (fun name () l -> (name, Program.find_partition source name) :: l)
+    acc []
+
+let fields_used_of_partition (source : Program.t) (b : Prog.block) pname =
+  (* Union of fields the block touches on this partition, for sizing the
+     replicated instances. *)
+  let acc = ref [] in
+  let add f = if not (List.exists (Field.equal f) !acc) then acc := f :: !acc in
+  let add_launch (l : Types.launch) =
+    let task = Program.find_task source l.Types.task in
+    List.iteri
+      (fun i rarg ->
+        match rarg with
+        | Types.Part (p, _) when p = pname ->
+            List.iter
+              (fun (pr : Privilege.t) -> add pr.Privilege.field)
+              (Task.param_privs task i)
+        | Types.Part _ | Types.Whole _ -> ())
+      l.Types.rargs
+  in
+  let add_copy (c : Prog.copy) op =
+    match op with
+    | Prog.Opart p when p = pname -> List.iter add c.Prog.fields
+    | Prog.Opart _ | Prog.Oregion _ -> ()
+  in
+  let rec go instrs =
+    List.iter
+      (function
+        | Prog.Launch { launch; _ } -> add_launch launch
+        | Prog.Launch_collective { launch; _ } -> add_launch launch
+        | Prog.Copy c ->
+            add_copy c c.Prog.src;
+            add_copy c c.Prog.dst
+        | Prog.Fill { part; fields; _ } ->
+            if part = pname then List.iter add fields
+        | Prog.Await _ | Prog.Release _ | Prog.Barrier | Prog.Assign _ -> ()
+        | Prog.For_time { body; _ } -> go body)
+      instrs
+  in
+  go b.Prog.init;
+  go b.Prog.body;
+  go b.Prog.finalize;
+  !acc
+
+let create_state ?stats ~(source : Program.t) ctx (b : Prog.block) =
+  let st =
+    {
+      source;
+      ctx;
+      block = b;
+      insts = Hashtbl.create 64;
+      pairs = Hashtbl.create 16;
+      chans = Hashtbl.create 64;
+      mailbox = Hashtbl.create 16;
+      barrier = { arrived = 0; generation = 0 };
+      collectives = [];
+    }
+  in
+  List.iter
+    (fun (pname, (p : Partition.t)) ->
+      let fields = fields_used_of_partition source b pname in
+      for c = 0 to Partition.color_count p - 1 do
+        let sub = Partition.sub p c in
+        Hashtbl.replace st.insts (pname, c)
+          (Physical.create_over sub.Region.ispace fields)
+      done)
+    (partitions_used source b);
+  (* Dynamic analysis (§3.3): pair sets for partition-to-partition copies,
+     plus one war/raw channel per non-empty pair. *)
+  List.iter
+    (fun (c : Prog.copy) ->
+      match (part_of_operand source c.Prog.src, part_of_operand source c.Prog.dst) with
+      | Some src, Some dst ->
+          let pairs =
+            match c.Prog.pairs with
+            | `Sparse -> Intersections.compute ?stats ~src ~dst ()
+            | `Dense -> Intersections.compute_all_pairs ?stats ~src ~dst ()
+          in
+          Hashtbl.replace st.pairs c.Prog.copy_id pairs;
+          let war =
+            Option.value ~default:1
+              (List.assoc_opt c.Prog.copy_id b.Prog.credits)
+          in
+          List.iter
+            (fun (i, j, _) ->
+              Hashtbl.replace st.chans (c.Prog.copy_id, i, j) { war; raw = 0 })
+            pairs.Intersections.items
+      | _ -> ())
+    b.Prog.copies;
+  st
+
+(* ---------- copy primitives ---------- *)
+
+let root_inst st rname =
+  Interp.Run.region_instance st.ctx (Program.find_region st.source rname)
+
+(* Sequential (master-side) execution of an init/finalize copy: every color
+   at once, no synchronisation. *)
+let master_copy st (c : Prog.copy) =
+  let do_one ~src ~dst =
+    match c.Prog.reduce with
+    | None -> Physical.copy_into ~fields:c.Prog.fields ~src ~dst ()
+    | Some op -> Physical.reduce_into ~op ~fields:c.Prog.fields ~src ~dst ()
+  in
+  match (c.Prog.src, c.Prog.dst) with
+  | Prog.Oregion rs, Prog.Opart pd ->
+      let p = Program.find_partition st.source pd in
+      let src = root_inst st rs in
+      for color = 0 to Partition.color_count p - 1 do
+        do_one ~src ~dst:(instance st pd color)
+      done
+  | Prog.Opart ps, Prog.Oregion rd ->
+      let p = Program.find_partition st.source ps in
+      let dst = root_inst st rd in
+      for color = 0 to Partition.color_count p - 1 do
+        do_one ~src:(instance st ps color) ~dst
+      done
+  | Prog.Opart ps, Prog.Opart pd ->
+      let pairs = Hashtbl.find st.pairs c.Prog.copy_id in
+      List.iter
+        (fun (i, j, _) -> do_one ~src:(instance st ps i) ~dst:(instance st pd j))
+        pairs.Intersections.items
+  | Prog.Oregion rs, Prog.Oregion rd ->
+      do_one ~src:(root_inst st rs) ~dst:(root_inst st rd)
+
+(* ---------- shard streams ---------- *)
+
+type loop_info = { lvar : string; lcount : int; mutable liter : int }
+
+type frame = {
+  instrs : Prog.instr array;
+  mutable idx : int;
+  loop : loop_info option;
+}
+
+type wait_state =
+  | Ready
+  | In_barrier of int (* generation observed at arrival *)
+  | In_collective of string (* deposited, waiting for the result *)
+
+type shard = {
+  sid : int;
+  env : Eval.env;
+  mutable frames : frame list;
+  mutable wait : wait_state;
+}
+
+let shard_done s = s.frames = []
+
+let owner st pname color =
+  let p = Program.find_partition st.source pname in
+  Prog.owner_of_color ~shards:st.block.Prog.shards
+    ~colors:(Partition.color_count p) color
+
+let owned_space_colors st sid space =
+  let n = Program.find_space st.source space in
+  Prog.colors_of_shard ~shards:st.block.Prog.shards ~colors:n sid
+
+(* Run one color of a launch against the replicated instances. Post-
+   normalization, every argument uses the identity projection, so color [c]
+   of the launch touches exactly color [c] of each argument partition. *)
+let run_launch_color st env (l : Types.launch) c =
+  let task = Program.find_task st.source l.Types.task in
+  let sargs = Array.map (Eval.sexpr env) l.Types.sargs in
+  let accessors =
+    Array.of_list
+      (List.mapi
+         (fun k rarg ->
+           match rarg with
+           | Types.Part (pname, Types.Id) ->
+               let inst = instance st pname c in
+               Accessor.make inst ~space:(Physical.ispace inst)
+                 (Task.param_privs task k)
+           | Types.Part (pname, Types.Fn (fname, _)) ->
+               invalid_arg
+                 (Printf.sprintf
+                    "Spmd.Exec: non-normalized projection %s(%s) survived \
+                     control replication"
+                    fname pname)
+           | Types.Whole r ->
+               invalid_arg
+                 (Printf.sprintf
+                    "Spmd.Exec: whole-region argument %s in replicated code" r))
+         l.Types.rargs)
+  in
+  task.Task.kernel accessors sargs
+
+let chan st key = Hashtbl.find st.chans key
+
+(* Pairs of a copy grouped by the role this shard plays. *)
+let owned_src_pairs st sid (c : Prog.copy) =
+  let pairs = Hashtbl.find st.pairs c.Prog.copy_id in
+  let ps = match c.Prog.src with Prog.Opart p -> p | Prog.Oregion _ -> assert false in
+  List.filter (fun (i, _, _) -> owner st ps i = sid) pairs.Intersections.items
+
+let owned_dst_pairs st sid copy_id =
+  let c = List.find (fun (c : Prog.copy) -> c.Prog.copy_id = copy_id) st.block.Prog.copies in
+  let pairs = Hashtbl.find st.pairs copy_id in
+  let pd = match c.Prog.dst with Prog.Opart p -> p | Prog.Oregion _ -> assert false in
+  (c, List.filter (fun (_, j, _) -> owner st pd j = sid) pairs.Intersections.items)
+
+(* A shard-side copy: wait for all write-after-read credits on owned pairs,
+   then move data (staging reduction payloads) and signal read-after-write
+   tokens (§3.4: copies are issued by the producer). *)
+let try_copy st s (c : Prog.copy) =
+  let owned = owned_src_pairs st s.sid c in
+  let all_credits =
+    List.for_all (fun (i, j, _) -> (chan st (c.Prog.copy_id, i, j)).war > 0) owned
+  in
+  if not all_credits then `Blocked
+  else begin
+    let ps = match c.Prog.src with Prog.Opart p -> p | Prog.Oregion _ -> assert false in
+    let pd = match c.Prog.dst with Prog.Opart p -> p | Prog.Oregion _ -> assert false in
+    List.iter
+      (fun (i, j, space) ->
+        let ch = chan st (c.Prog.copy_id, i, j) in
+        ch.war <- ch.war - 1;
+        let src = instance st ps i and dst = instance st pd j in
+        (match c.Prog.reduce with
+        | None -> Physical.copy_into ~fields:c.Prog.fields ~src ~dst ()
+        | Some _ ->
+            (* Snapshot the payload now — the producer may overwrite the
+               source before the consumer applies — and stage it; the
+               consumer folds payloads in ascending source color for
+               deterministic floating-point results. *)
+            let snapshot = Physical.create_over space c.Prog.fields in
+            Physical.copy_into ~fields:c.Prog.fields ~src ~dst:snapshot ();
+            let key = (c.Prog.copy_id, j) in
+            let box =
+              match Hashtbl.find_opt st.mailbox key with
+              | Some b -> b
+              | None ->
+                  let b = ref [] in
+                  Hashtbl.replace st.mailbox key b;
+                  b
+            in
+            box := (i, snapshot) :: !box);
+        ch.raw <- ch.raw + 1)
+      owned;
+    `Progress
+  end
+
+let try_await st s copy_id =
+  let c, owned = owned_dst_pairs st s.sid copy_id in
+  let ready =
+    List.for_all (fun (i, j, _) -> (chan st (copy_id, i, j)).raw > 0) owned
+  in
+  if not ready then `Blocked
+  else begin
+    List.iter
+      (fun (i, j, _) ->
+        let ch = chan st (copy_id, i, j) in
+        ch.raw <- ch.raw - 1)
+      owned;
+    (match c.Prog.reduce with
+    | None -> ()
+    | Some op ->
+        let pd = match c.Prog.dst with Prog.Opart p -> p | Prog.Oregion _ -> assert false in
+        List.iter
+          (fun (_, j, _) ->
+            match Hashtbl.find_opt st.mailbox (copy_id, j) with
+            | None -> ()
+            | Some box ->
+                let staged =
+                  List.sort (fun (a, _) (b, _) -> Int.compare a b) !box
+                in
+                box := [];
+                List.iter
+                  (fun (_, snapshot) ->
+                    Physical.reduce_into ~op ~fields:c.Prog.fields
+                      ~src:snapshot ~dst:(instance st pd j) ())
+                  staged)
+          owned);
+    `Progress
+  end
+
+let do_release st s copy_id =
+  let _, owned = owned_dst_pairs st s.sid copy_id in
+  List.iter
+    (fun (i, j, _) ->
+      let ch = chan st (copy_id, i, j) in
+      ch.war <- ch.war + 1)
+    owned
+
+let collective_slot st instr =
+  match List.assq_opt instr st.collectives with
+  | Some slot -> slot
+  | None ->
+      let n = st.block.Prog.shards in
+      let slot =
+        {
+          values = [];
+          arrived = Array.make n false;
+          result = None;
+          consumed = Array.make n false;
+        }
+      in
+      st.collectives <- (instr, slot) :: st.collectives;
+      slot
+
+(* ---------- the stepper ---------- *)
+
+let push_loop s var count body =
+  if count > 0 then begin
+    Eval.set s.env var 0.;
+    s.frames <-
+      { instrs = Array.of_list body; idx = 0; loop = Some { lvar = var; lcount = count; liter = 0 } }
+      :: s.frames
+  end
+
+(* Advance past exhausted frames, re-entering loops. *)
+let rec normalize_frames s =
+  match s.frames with
+  | [] -> ()
+  | f :: rest ->
+      if f.idx >= Array.length f.instrs then (
+        match f.loop with
+        | Some li when li.liter + 1 < li.lcount ->
+            li.liter <- li.liter + 1;
+            Eval.set s.env li.lvar (float_of_int li.liter);
+            f.idx <- 0
+        | Some _ | None ->
+            s.frames <- rest;
+            normalize_frames s)
+      else ()
+
+(* Execute (or block on) the shard's current instruction. Returns whether
+   the shard made progress. *)
+let step st s =
+  normalize_frames s;
+  match s.frames with
+  | [] -> `Done
+  | f :: _ -> (
+      let instr = f.instrs.(f.idx) in
+      let advance () =
+        f.idx <- f.idx + 1;
+        normalize_frames s;
+        `Progress
+      in
+      match instr with
+      | Prog.Assign (v, e) ->
+          Eval.set s.env v (Eval.sexpr s.env e);
+          advance ()
+      | Prog.For_time { var; count; body } ->
+          f.idx <- f.idx + 1;
+          push_loop s var count body;
+          normalize_frames s;
+          `Progress
+      | Prog.Launch { space; launch } ->
+          List.iter
+            (fun c -> ignore (run_launch_color st s.env launch c))
+            (owned_space_colors st s.sid space);
+          advance ()
+      | Prog.Fill { part; fields; op } ->
+          let p = Program.find_partition st.source part in
+          List.iter
+            (fun c ->
+              let inst = instance st part c in
+              List.iter
+                (fun fld -> Physical.fill inst fld (Privilege.identity_of op))
+                fields)
+            (Prog.colors_of_shard ~shards:st.block.Prog.shards
+               ~colors:(Partition.color_count p) s.sid);
+          advance ()
+      | Prog.Copy c -> (
+          match try_copy st s c with
+          | `Blocked -> `Blocked
+          | `Progress -> advance ())
+      | Prog.Await id -> (
+          match try_await st s id with
+          | `Blocked -> `Blocked
+          | `Progress -> advance ())
+      | Prog.Release id ->
+          do_release st s id;
+          advance ()
+      | Prog.Barrier -> (
+          match s.wait with
+          | In_barrier gen ->
+              if st.barrier.generation > gen then begin
+                s.wait <- Ready;
+                advance ()
+              end
+              else `Blocked
+          | Ready | In_collective _ ->
+              (* Arrival mutates shared state, so it counts as progress even
+                 though the shard then waits. *)
+              let gen = st.barrier.generation in
+              st.barrier.arrived <- st.barrier.arrived + 1;
+              s.wait <- In_barrier gen;
+              if st.barrier.arrived = st.block.Prog.shards then begin
+                st.barrier.arrived <- 0;
+                st.barrier.generation <- gen + 1;
+                s.wait <- Ready;
+                ignore (advance ())
+              end;
+              `Progress)
+      | Prog.Launch_collective { space; launch; var; op } as instr -> (
+          let slot = collective_slot st instr in
+          let shards = st.block.Prog.shards in
+          match s.wait with
+          | In_collective _ -> (
+              match slot.result with
+              | None -> `Blocked
+              | Some r ->
+                  Eval.set s.env var r;
+                  slot.consumed.(s.sid) <- true;
+                  if Array.for_all Fun.id slot.consumed then begin
+                    slot.values <- [];
+                    Array.fill slot.arrived 0 shards false;
+                    Array.fill slot.consumed 0 shards false;
+                    slot.result <- None
+                  end;
+                  s.wait <- Ready;
+                  advance ())
+          | Ready | In_barrier _ ->
+              if slot.result <> None then
+                (* A previous round is still being drained by slower
+                   shards; wait for the reset. *)
+                `Blocked
+              else begin
+                (* Deposit per-color partial results; the last shard to
+                   arrive folds them in ascending color order (bitwise
+                   equal to the sequential fold) and publishes. *)
+                let mine =
+                  List.map
+                    (fun c -> (c, run_launch_color st s.env launch c))
+                    (owned_space_colors st s.sid space)
+                in
+                slot.values <- mine @ slot.values;
+                slot.arrived.(s.sid) <- true;
+                s.wait <- In_collective var;
+                if Array.for_all Fun.id slot.arrived then begin
+                  let sorted =
+                    List.sort
+                      (fun (a, _) (b, _) -> Int.compare a b)
+                      slot.values
+                  in
+                  slot.result <-
+                    Some
+                      (List.fold_left
+                         (fun acc (_, v) -> Privilege.apply_redop op acc v)
+                         (Privilege.identity_of op)
+                         sorted)
+                end;
+                (* The deposit itself is progress; the shard picks the
+                   result up on a later step. *)
+                `Progress
+              end))
+
+(* ---------- real-parallel execution on OCaml domains ----------
+
+   One domain per shard. All synchronisation metadata (war/raw counters,
+   reduction mailboxes, the barrier and collective slots) is protected by a
+   single monitor; waits block on its condition variable. Data movement
+   happens outside the lock — the war/raw protocol itself guarantees
+   exclusive access, which is exactly the property this mode stress-tests:
+   if the compiler's synchronisation insertion were wrong, domains would
+   race or hang. *)
+let drive_domains st (b : Prog.block) master_env =
+  let m = Mutex.create () and cv = Condition.create () in
+  let locked f =
+    Mutex.lock m;
+    let r = f () in
+    Mutex.unlock m;
+    r
+  in
+  let wait_until pred =
+    Mutex.lock m;
+    while not (pred ()) do
+      Condition.wait cv m
+    done;
+    Mutex.unlock m
+  in
+  let shards = b.Prog.shards in
+  (* Pre-create collective slots so the lookup list is read-only while the
+     domains run. *)
+  let rec precreate instrs =
+    List.iter
+      (function
+        | Prog.Launch_collective _ as i -> ignore (collective_slot st i)
+        | Prog.For_time { body; _ } -> precreate body
+        | _ -> ())
+      instrs
+  in
+  precreate b.Prog.body;
+  let shard_main sid () =
+    let env = Eval.copy master_env in
+    let rec exec = function
+      | Prog.Assign (v, e) -> Eval.set env v (Eval.sexpr env e)
+      | Prog.For_time { var; count; body } ->
+          for t = 0 to count - 1 do
+            Eval.set env var (float_of_int t);
+            List.iter exec body
+          done
+      | Prog.Launch { space; launch } ->
+          List.iter
+            (fun c -> ignore (run_launch_color st env launch c))
+            (owned_space_colors st sid space)
+      | Prog.Fill { part; fields; op } ->
+          let p = Program.find_partition st.source part in
+          List.iter
+            (fun c ->
+              let inst = instance st part c in
+              List.iter
+                (fun fld -> Physical.fill inst fld (Privilege.identity_of op))
+                fields)
+            (Prog.colors_of_shard ~shards ~colors:(Partition.color_count p) sid)
+      | Prog.Copy c ->
+          let ps =
+            match c.Prog.src with Prog.Opart p -> p | Prog.Oregion _ -> assert false
+          and pd =
+            match c.Prog.dst with Prog.Opart p -> p | Prog.Oregion _ -> assert false
+          in
+          List.iter
+            (fun (i, j, space) ->
+              let ch = chan st (c.Prog.copy_id, i, j) in
+              wait_until (fun () -> ch.war > 0);
+              locked (fun () -> ch.war <- ch.war - 1);
+              let src = instance st ps i and dst = instance st pd j in
+              (match c.Prog.reduce with
+              | None -> Physical.copy_into ~fields:c.Prog.fields ~src ~dst ()
+              | Some _ ->
+                  let snapshot = Physical.create_over space c.Prog.fields in
+                  Physical.copy_into ~fields:c.Prog.fields ~src ~dst:snapshot ();
+                  locked (fun () ->
+                      let key = (c.Prog.copy_id, j) in
+                      let box =
+                        match Hashtbl.find_opt st.mailbox key with
+                        | Some b -> b
+                        | None ->
+                            let b = ref [] in
+                            Hashtbl.replace st.mailbox key b;
+                            b
+                      in
+                      box := (i, snapshot) :: !box));
+              locked (fun () ->
+                  ch.raw <- ch.raw + 1;
+                  Condition.broadcast cv))
+            (owned_src_pairs st sid c)
+      | Prog.Await copy_id ->
+          let c, owned = owned_dst_pairs st sid copy_id in
+          List.iter
+            (fun (i, j, _) ->
+              let ch = chan st (copy_id, i, j) in
+              wait_until (fun () -> ch.raw > 0);
+              locked (fun () -> ch.raw <- ch.raw - 1))
+            owned;
+          (match c.Prog.reduce with
+          | None -> ()
+          | Some op ->
+              let pd =
+                match c.Prog.dst with
+                | Prog.Opart p -> p
+                | Prog.Oregion _ -> assert false
+              in
+              List.iter
+                (fun (_, j, _) ->
+                  let staged =
+                    locked (fun () ->
+                        match Hashtbl.find_opt st.mailbox (copy_id, j) with
+                        | None -> []
+                        | Some box ->
+                            let l = !box in
+                            box := [];
+                            l)
+                  in
+                  List.iter
+                    (fun (_, snapshot) ->
+                      Physical.reduce_into ~op ~fields:c.Prog.fields
+                        ~src:snapshot ~dst:(instance st pd j) ())
+                    (List.sort (fun (a, _) (b, _) -> Int.compare a b) staged))
+                owned)
+      | Prog.Release copy_id ->
+          let _, owned = owned_dst_pairs st sid copy_id in
+          locked (fun () ->
+              List.iter
+                (fun (i, j, _) ->
+                  let ch = chan st (copy_id, i, j) in
+                  ch.war <- ch.war + 1)
+                owned;
+              Condition.broadcast cv)
+      | Prog.Barrier ->
+          let gen =
+            locked (fun () ->
+                let gen = st.barrier.generation in
+                st.barrier.arrived <- st.barrier.arrived + 1;
+                if st.barrier.arrived = shards then begin
+                  st.barrier.arrived <- 0;
+                  st.barrier.generation <- gen + 1;
+                  Condition.broadcast cv
+                end;
+                gen)
+          in
+          wait_until (fun () -> st.barrier.generation > gen)
+      | Prog.Launch_collective { space; launch; var; op } as instr ->
+          let slot = collective_slot st instr in
+          (* A previous round must have fully drained before depositing. *)
+          wait_until (fun () -> slot.result = None && not slot.arrived.(sid));
+          let mine =
+            List.map
+              (fun c -> (c, run_launch_color st env launch c))
+              (owned_space_colors st sid space)
+          in
+          locked (fun () ->
+              slot.values <- mine @ slot.values;
+              slot.arrived.(sid) <- true;
+              if Array.for_all Fun.id slot.arrived then begin
+                let sorted =
+                  List.sort (fun (a, _) (b, _) -> Int.compare a b) slot.values
+                in
+                slot.result <-
+                  Some
+                    (List.fold_left
+                       (fun acc (_, v) -> Privilege.apply_redop op acc v)
+                       (Privilege.identity_of op)
+                       sorted)
+              end;
+              Condition.broadcast cv);
+          wait_until (fun () -> slot.result <> None);
+          let r = locked (fun () -> Option.get slot.result) in
+          Eval.set env var r;
+          locked (fun () ->
+              slot.consumed.(sid) <- true;
+              if Array.for_all Fun.id slot.consumed then begin
+                slot.values <- [];
+                Array.fill slot.arrived 0 shards false;
+                Array.fill slot.consumed 0 shards false;
+                slot.result <- None
+              end;
+              Condition.broadcast cv)
+    in
+    List.iter exec b.Prog.body;
+    env
+  in
+  let domains = Array.init shards (fun sid -> Domain.spawn (shard_main sid)) in
+  let envs = Array.map Domain.join domains in
+  if shards > 0 then
+    List.iter (fun (k, v) -> Eval.set master_env k v) (Eval.bindings envs.(0))
+
+let run_block ?(sched = `Round_robin) ?stats ~source ctx (b : Prog.block) =
+  let st = create_state ?stats ~source ctx b in
+  (* Initialization runs sequentially, outside the shards (Fig. 4d). *)
+  List.iter
+    (function
+      | Prog.Copy c -> master_copy st c
+      | Prog.Fill { part; fields; op } ->
+          let p = Program.find_partition source part in
+          for color = 0 to Partition.color_count p - 1 do
+            let inst = instance st part color in
+            List.iter
+              (fun fld -> Physical.fill inst fld (Privilege.identity_of op))
+              fields
+          done
+      | instr ->
+          invalid_arg
+            (Format.asprintf "Spmd.Exec: unsupported init instruction %a"
+               Prog.pp_instr instr))
+    b.Prog.init;
+  (* Shard streams. *)
+  let master_env = Interp.Run.env ctx in
+  let drive_stepper rng =
+  let shards =
+    Array.init b.Prog.shards (fun sid ->
+        {
+          sid;
+          env = Eval.copy master_env;
+          frames = [ { instrs = Array.of_list b.Prog.body; idx = 0; loop = None } ];
+          wait = Ready;
+        })
+  in
+  let live () =
+    Array.to_list shards |> List.filter (fun s -> not (shard_done s))
+  in
+  let rr = ref 0 in
+  let rec drive () =
+    match live () with
+    | [] -> ()
+    | alive ->
+        (* Try shards starting from a scheduler-chosen point; if a full
+           sweep makes no progress, every live shard is blocked. *)
+        let order =
+          match rng with
+          | Some state ->
+              let arr = Array.of_list alive in
+              for i = Array.length arr - 1 downto 1 do
+                let j = Random.State.int state (i + 1) in
+                let t = arr.(i) in
+                arr.(i) <- arr.(j);
+                arr.(j) <- t
+              done;
+              Array.to_list arr
+          | None ->
+              let n = List.length alive in
+              let k = !rr mod n in
+              incr rr;
+              let arr = Array.of_list alive in
+              List.init n (fun i -> arr.((i + k) mod n))
+        in
+        let progressed =
+          List.exists
+            (fun s -> match step st s with `Progress | `Done -> true | `Blocked -> false)
+            order
+        in
+        if not progressed then
+          raise
+            (Deadlock
+               (Printf.sprintf "all %d live shards blocked" (List.length alive)));
+        drive ()
+  in
+  drive ();
+  (* Replicated scalar state is identical on all shards; fold it back. *)
+  match shards with
+  | [||] -> ()
+  | _ ->
+      List.iter
+        (fun (k, v) -> Eval.set master_env k v)
+        (Eval.bindings shards.(0).env)
+  in
+  (match sched with
+  | `Round_robin -> drive_stepper None
+  | `Random seed -> drive_stepper (Some (Random.State.make [| seed |]))
+  | `Domains -> drive_domains st b master_env);
+  (* Finalization, sequential again. *)
+  List.iter
+    (function
+      | Prog.Copy c -> master_copy st c
+      | instr ->
+          invalid_arg
+            (Format.asprintf "Spmd.Exec: unsupported finalize instruction %a"
+               Prog.pp_instr instr))
+    b.Prog.finalize
+
+let run ?sched ?stats (t : Prog.t) ctx =
+  List.iter
+    (function
+      | Prog.Seq stmts -> Interp.Run.run_stmts ctx stmts
+      | Prog.Replicated b -> run_block ?sched ?stats ~source:t.Prog.source ctx b)
+    t.Prog.items

@@ -1,0 +1,41 @@
+(** Functional execution of SPMD programs.
+
+    Each replicated block runs as [shards] cooperative shard streams driven
+    by a scheduler: round-robin, seeded-random (adversarial interleavings
+    for the equivalence tests), or real OCaml domains. Synchronisation —
+    write-after-read credits and read-after-write tokens per copy pair
+    (§3.4), global barriers, and the dynamic collective for scalar
+    reductions (§4.4) — is honoured exactly; a schedule in which every
+    live shard is blocked raises {!Deadlock} (a control-replication bug by
+    definition, so tests assert it never happens).
+
+    Execution is bitwise deterministic and equal to the sequential
+    interpreter on the same inputs, for any schedule: plain copies never
+    conflict (write-privileged partitions are disjoint), reduction copies
+    are staged and applied in ascending source-color order, and the scalar
+    collective folds per-color results in color order. *)
+
+exception Deadlock of string
+
+type sched =
+  [ `Round_robin  (** deterministic cooperative stepper *)
+  | `Random of int  (** seeded adversarial interleaving (same stepper) *)
+  | `Domains
+    (** one OCaml domain per shard with real mutex/condition-variable
+        synchronisation — true parallel execution of the SPMD program.
+        Use moderate shard counts (≲ 16); deadlock detection does not
+        apply (a sync bug hangs instead). *) ]
+
+val run :
+  ?sched:sched -> ?stats:Intersections.stats -> Prog.t ->
+  Interp.Run.context -> unit
+(** Executes the whole compiled program against the context: [Seq] items via
+    the sequential interpreter, [Replicated] blocks with the SPMD machinery
+    (instances per (partition, color), dynamic intersections, shard
+    streams). Root-region instances and scalars in the context hold the
+    results afterwards. *)
+
+val run_block :
+  ?sched:sched -> ?stats:Intersections.stats -> source:Ir.Program.t ->
+  Interp.Run.context -> Prog.block -> unit
+(** Run a single replicated block (exposed for tests). *)

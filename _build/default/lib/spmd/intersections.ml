@@ -1,0 +1,134 @@
+(* Dynamic computation of copy intersections (paper §3.3).
+
+   Copies are issued between pairs of source and destination subregions, but
+   only their intersections must move. The computation runs in two phases:
+
+   - a *shallow* phase that finds candidate overlapping pairs from subregion
+     bounds alone — an interval tree over identifier bounds for unstructured
+     partitions, a bounding-volume hierarchy for structured ones — avoiding
+     the O(N^2) all-pairs comparison;
+   - a *complete* phase computing the exact element intersection of each
+     candidate pair, discarding the empty ones.
+
+   Both phases are timed; the per-phase totals reproduce Table 1. *)
+
+open Geometry
+open Regions
+
+type stats = {
+  mutable shallow_s : float; (* seconds in the shallow phase *)
+  mutable complete_s : float; (* seconds in the complete phase *)
+  mutable candidates : int; (* pairs surviving the shallow phase *)
+  mutable nonempty : int; (* pairs surviving the complete phase *)
+}
+
+let fresh_stats () =
+  { shallow_s = 0.; complete_s = 0.; candidates = 0; nonempty = 0 }
+
+(* The non-empty intersections between two partitions' subregions:
+   (source color, destination color, shared elements). *)
+type pairs = {
+  src : Partition.t;
+  dst : Partition.t;
+  items : (int * int * Index_space.t) list;
+}
+
+let timed cell f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  cell := !cell +. (Unix.gettimeofday () -. t0);
+  r
+
+(* The index is built from every rectangle (structured) or identifier run
+   (unstructured) of each destination subregion, not from whole-subregion
+   bounds: halo subregions are unions of scattered pieces whose bounding
+   box would overlap nearly everything. Queries deduplicate candidate
+   colors through a seen-set keyed by the source color being queried. *)
+let shallow_candidates ~(src : Partition.t) ~(dst : Partition.t) =
+  let n_src = Partition.color_count src
+  and n_dst = Partition.color_count dst in
+  let structured =
+    n_dst > 0
+    && Index_space.is_structured (Partition.sub dst 0).Region.ispace
+  in
+  let seen = Hashtbl.create 256 in
+  let out = ref [] in
+  let add i j =
+    if not (Hashtbl.mem seen (i, j)) then begin
+      Hashtbl.add seen (i, j) ();
+      out := (i, j) :: !out
+    end
+  in
+  if structured then begin
+    let items =
+      List.concat_map
+        (fun j ->
+          List.map
+            (fun r -> (r, j))
+            (Index_space.rects (Partition.sub dst j).Region.ispace))
+        (List.init n_dst Fun.id)
+    in
+    let bvh = Bvh.build items in
+    for i = 0 to n_src - 1 do
+      List.iter
+        (fun r -> Bvh.iter_overlapping bvh r (fun _ j -> add i j))
+        (Index_space.rects (Partition.sub src i).Region.ispace)
+    done
+  end
+  else begin
+    let items =
+      List.concat_map
+        (fun j ->
+          List.map
+            (fun run -> (run, j))
+            (Index_space.id_runs (Partition.sub dst j).Region.ispace))
+        (List.init n_dst Fun.id)
+    in
+    let tree = Interval_tree.build items in
+    for i = 0 to n_src - 1 do
+      List.iter
+        (fun run -> Interval_tree.iter_overlapping tree run (fun _ j -> add i j))
+        (Index_space.id_runs (Partition.sub src i).Region.ispace)
+    done
+  end;
+  List.rev !out
+
+let complete_pairs ~(src : Partition.t) ~(dst : Partition.t) candidates =
+  List.filter_map
+    (fun (i, j) ->
+      let inter =
+        Index_space.inter
+          (Partition.sub src i).Region.ispace
+          (Partition.sub dst j).Region.ispace
+      in
+      if Index_space.is_empty inter then None else Some (i, j, inter))
+    candidates
+
+let compute ?stats ~src ~dst () =
+  let stats = match stats with Some s -> s | None -> fresh_stats () in
+  let sh = ref 0. and co = ref 0. in
+  let candidates = timed sh (fun () -> shallow_candidates ~src ~dst) in
+  let items = timed co (fun () -> complete_pairs ~src ~dst candidates) in
+  stats.shallow_s <- stats.shallow_s +. !sh;
+  stats.complete_s <- stats.complete_s +. !co;
+  stats.candidates <- stats.candidates + List.length candidates;
+  stats.nonempty <- stats.nonempty + List.length items;
+  { src; dst; items }
+
+(* The naive all-pairs computation (what §3.3 optimizes away) — kept for the
+   ablation benchmark. *)
+let compute_all_pairs ?stats ~src ~dst () =
+  let stats = match stats with Some s -> s | None -> fresh_stats () in
+  let n_src = Partition.color_count src
+  and n_dst = Partition.color_count dst in
+  let candidates =
+    List.concat_map
+      (fun i -> List.init n_dst (fun j -> (i, j)))
+      (List.init n_src Fun.id)
+  in
+  let co = ref 0. in
+  let items = timed co (fun () -> complete_pairs ~src ~dst candidates) in
+  stats.complete_s <- stats.complete_s +. !co;
+  stats.candidates <- stats.candidates + List.length candidates;
+  stats.nonempty <- stats.nonempty + List.length items;
+  { src; dst; items }

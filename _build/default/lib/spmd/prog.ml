@@ -1,0 +1,162 @@
+(* The explicit-SPMD program representation control replication compiles to
+   (paper Fig. 4d).
+
+   A replicated block is executed by [shards] long-running shard tasks, each
+   running the same instruction stream. Work is divided by ownership: launch
+   -space colors are block-distributed over shards; a shard executes the
+   iterations it owns, issues the copies whose *source* subregion it owns
+   (producer-issued copies, §3.4), and synchronises as consumer for the
+   copies whose destination it owns.
+
+   Under data replication (§3.1) every (partition, color) pair has its own
+   physical instance, owned by the color's owner shard. Parent regions keep
+   separate storage touched only by the initialization / finalization
+   copies, which run before shards start and after they finish (as in
+   Fig. 4d, where init and finalization stay outside the shard task). *)
+
+open Regions
+
+(* Operand of a copy: a whole region (init/finalize) or a partition. *)
+type operand = Oregion of string | Opart of string
+
+type copy = {
+  copy_id : int; (* unique within the program; keys sync channels *)
+  src : operand;
+  dst : operand;
+  fields : Field.t list;
+  reduce : Privilege.redop option; (* reduction-apply copy (§4.3) *)
+  pairs : [ `Dense | `Sparse ];
+      (* `Dense: all (i,j) color pairs are candidates, intersections
+         computed per copy on the fly (the O(N^2) behaviour §3.3 removes).
+         `Sparse: only the precomputed non-empty intersection pairs. *)
+}
+
+type instr =
+  | Launch of { space : string; launch : Ir.Types.launch }
+      (* for i in my colors of space: task(...) *)
+  | Launch_collective of {
+      space : string;
+      launch : Ir.Types.launch;
+      var : string;
+      op : Privilege.redop;
+    }
+      (* local partials + dynamic collective + broadcast (§4.4) *)
+  | Copy of copy (* producer side: issue owned copies, with p2p sync *)
+  | Await of int (* consumer side: wait for incoming copies [copy_id] *)
+  | Release of int
+      (* consumer side: grant write-after-read credit for [copy_id]'s next
+         occurrence *)
+  | Barrier (* global barrier (naive sync mode, Fig. 4c) *)
+  | Fill of { part : string; fields : Field.t list; op : Privilege.redop }
+      (* reset a reduction-temporary partition to the operator identity
+         before the launch that reduces into it (§4.3) *)
+  | Assign of string * Ir.Types.sexpr (* replicated scalar state *)
+  | For_time of { var : string; count : int; body : instr list }
+
+(* One control-replicated block. [init]/[finalize] run sequentially outside
+   the shards. *)
+type block = {
+  shards : int;
+  init : instr list;
+  body : instr list;
+  finalize : instr list;
+  copies : copy list; (* all copies appearing anywhere, by copy_id *)
+  credits : (int * int) list;
+      (* copy_id -> initial write-after-read credits: 1 when the copy's
+         Release follows it in program order (the first occurrence may
+         proceed), 0 when the Release precedes it within the same
+         iteration. Missing entries default to 1. *)
+}
+
+(* A compiled program interleaves sequential statements (run by the master,
+   shared-memory semantics) with replicated blocks. *)
+type item = Seq of Ir.Types.stmt list | Replicated of block
+
+type t = {
+  source : Ir.Program.t; (* environment: regions, partitions, tasks *)
+  items : item list;
+}
+
+(* Block distribution of [colors] over [shards] (§3.5: "a simple block
+   partition of the iteration space"). *)
+let owner_of_color ~shards ~colors c =
+  if c < 0 || c >= colors then invalid_arg "owner_of_color: bad color";
+  (* Inverse of Rect.block_1d's quotient-remainder blocking. *)
+  let q = colors / shards and r = colors mod shards in
+  if q = 0 then c
+  else
+    let boundary = r * (q + 1) in
+    if c < boundary then c / (q + 1) else r + ((c - boundary) / q)
+
+let colors_of_shard ~shards ~colors s =
+  match Geometry.Rect.block_1d ~lo:0 ~hi:(colors - 1) ~pieces:shards ~index:s with
+  | None -> []
+  | Some (lo, hi) -> List.init (hi - lo + 1) (fun k -> lo + k)
+
+(* ---------- pretty printing (golden tests, crc inspect) ---------- *)
+
+let pp_operand ppf = function
+  | Oregion r -> Format.fprintf ppf "%s" r
+  | Opart p -> Format.fprintf ppf "%s[*]" p
+
+let pp_copy ppf c =
+  Format.fprintf ppf "copy#%d %a <- %a {%a}%s%s" c.copy_id pp_operand c.dst
+    pp_operand c.src
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+       Field.pp)
+    c.fields
+    (match c.reduce with
+    | Some op -> " reduce(" ^ Privilege.redop_to_string op ^ ")"
+    | None -> "")
+    (match c.pairs with `Dense -> " all-pairs" | `Sparse -> " intersections")
+
+let rec pp_instr ppf = function
+  | Launch { space; launch } ->
+      Format.fprintf ppf "@[<h>for i in my(%s) do %a end@]" space
+        Ir.Pretty.pp_launch launch
+  | Launch_collective { space; launch; var; op } ->
+      Format.fprintf ppf "@[<h>%s = collective(%s) for i in my(%s) of %a@]"
+        var
+        (Privilege.redop_to_string op)
+        space Ir.Pretty.pp_launch launch
+  | Copy c -> pp_copy ppf c
+  | Await id -> Format.fprintf ppf "await copy#%d" id
+  | Release id -> Format.fprintf ppf "release copy#%d" id
+  | Barrier -> Format.pp_print_string ppf "barrier()"
+  | Fill { part; fields; op } ->
+      Format.fprintf ppf "fill %s[*] {%a} <- identity(%s)" part
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+           Field.pp)
+        fields
+        (Privilege.redop_to_string op)
+  | Assign (v, e) -> Format.fprintf ppf "%s = %a" v Ir.Pretty.pp_sexpr e
+  | For_time { var; count; body } ->
+      Format.fprintf ppf "@[<v 2>for %s = 0, %d do@,%a@]@,end" var count
+        pp_instrs body
+
+and pp_instrs ppf instrs =
+  Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_instr ppf instrs
+
+let pp_block ppf b =
+  Format.fprintf ppf
+    "@[<v>-- %d shards@,@[<v 2>-- init:@,%a@]@,@[<v 2>-- body:@,%a@]@,@[<v \
+     2>-- finalize:@,%a@]@]"
+    b.shards pp_instrs b.init pp_instrs b.body pp_instrs b.finalize
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>-- spmd program (source %s)@," t.source.Ir.Program.name;
+  List.iteri
+    (fun k item ->
+      match item with
+      | Seq stmts ->
+          Format.fprintf ppf "@[<v 2>-- item %d: sequential@,%a@]@," k
+            Ir.Pretty.pp_stmts stmts
+      | Replicated b ->
+          Format.fprintf ppf "@[<v 2>-- item %d: replicated@,%a@]@," k
+            pp_block b)
+    t.items;
+  Format.fprintf ppf "@]"
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,1 @@
+lib/taskpool/pool.ml: Array Condition Domain Fun List Mutex Queue

@@ -1,0 +1,1 @@
+lib/taskpool/pool.mli:

@@ -1,0 +1,181 @@
+(* A plain shared-queue pool: workers block on a condition variable and pull
+   thunks FIFO. Queue contention is negligible at our task granularities
+   (leaf tasks do kernel work over whole subregions). *)
+
+type job = unit -> unit
+
+type t = {
+  mutable workers : unit Domain.t list;
+  queue : job Queue.t;
+  lock : Mutex.t;
+  nonempty : Condition.t;
+  mutable stopping : bool;
+  mutable stopped : bool;
+  size : int;
+}
+
+let size t = t.size
+
+let worker_loop t () =
+  let rec next () =
+    Mutex.lock t.lock;
+    let rec wait () =
+      if Queue.is_empty t.queue then
+        if t.stopping then begin
+          Mutex.unlock t.lock;
+          None
+        end
+        else begin
+          Condition.wait t.nonempty t.lock;
+          wait ()
+        end
+      else begin
+        let job = Queue.pop t.queue in
+        Mutex.unlock t.lock;
+        Some job
+      end
+    in
+    match wait () with
+    | None -> ()
+    | Some job ->
+        job ();
+        next ()
+  in
+  next ()
+
+let create ?domains () =
+  let n =
+    match domains with
+    | Some n when n >= 1 -> n
+    | Some _ -> invalid_arg "Pool.create: domains < 1"
+    | None -> max 1 (Domain.recommended_domain_count () - 1)
+  in
+  let t =
+    {
+      workers = [];
+      queue = Queue.create ();
+      lock = Mutex.create ();
+      nonempty = Condition.create ();
+      stopping = false;
+      stopped = false;
+      size = n;
+    }
+  in
+  t.workers <- List.init n (fun _ -> Domain.spawn (worker_loop t));
+  t
+
+let submit t job =
+  Mutex.lock t.lock;
+  if t.stopping then begin
+    Mutex.unlock t.lock;
+    invalid_arg "Pool: submit after shutdown"
+  end;
+  Queue.push job t.queue;
+  Condition.signal t.nonempty;
+  Mutex.unlock t.lock
+
+let shutdown t =
+  Mutex.lock t.lock;
+  if t.stopped then Mutex.unlock t.lock
+  else begin
+    t.stopping <- true;
+    Condition.broadcast t.nonempty;
+    Mutex.unlock t.lock;
+    List.iter Domain.join t.workers;
+    t.stopped <- true;
+    t.workers <- []
+  end
+
+type 'a state = Pending | Done of 'a | Failed of exn
+
+type 'a future = {
+  mutable state : 'a state;
+  flock : Mutex.t;
+  fdone : Condition.t;
+}
+
+let async t f =
+  let fut = { state = Pending; flock = Mutex.create (); fdone = Condition.create () } in
+  submit t (fun () ->
+      let result = try Done (f ()) with e -> Failed e in
+      Mutex.lock fut.flock;
+      fut.state <- result;
+      Condition.broadcast fut.fdone;
+      Mutex.unlock fut.flock);
+  fut
+
+let await fut =
+  Mutex.lock fut.flock;
+  let rec wait () =
+    match fut.state with
+    | Pending ->
+        Condition.wait fut.fdone fut.flock;
+        wait ()
+    | Done v ->
+        Mutex.unlock fut.flock;
+        v
+    | Failed e ->
+        Mutex.unlock fut.flock;
+        raise e
+  in
+  wait ()
+
+(* Quotient-remainder blocking of [lo..hi] into [pieces]; piece [index] as
+   inclusive bounds, [None] when empty. *)
+let block ~lo ~hi ~pieces ~index =
+  let n = hi - lo + 1 in
+  let q = n / pieces and r = n mod pieces in
+  let start = lo + (index * q) + min index r in
+  let len = q + if index < r then 1 else 0 in
+  if len <= 0 then None else Some (start, start + len - 1)
+
+let parallel_for t ~lo ~hi f =
+  if hi >= lo then begin
+    let n = hi - lo + 1 in
+    let chunks = min n (4 * size t) in
+    let futures =
+      List.init chunks (fun c ->
+          match block ~lo ~hi ~pieces:chunks ~index:c with
+          | None -> None
+          | Some (l, h) ->
+              Some
+                (async t (fun () ->
+                     for i = l to h do
+                       f i
+                     done)))
+    in
+    let first_exn = ref None in
+    List.iter
+      (function
+        | None -> ()
+        | Some fut -> (
+            try await fut
+            with e -> if !first_exn = None then first_exn := Some e))
+      futures;
+    match !first_exn with None -> () | Some e -> raise e
+  end
+
+let parallel_map_array t f a =
+  let n = Array.length a in
+  if n = 0 then [||]
+  else begin
+    let out = Array.make n (f a.(0)) in
+    parallel_for t ~lo:1 ~hi:(n - 1) (fun i -> out.(i) <- f a.(i));
+    out
+  end
+
+let with_pool ?domains f =
+  let t = create ?domains () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+let default_pool = ref None
+let default_lock = Mutex.create ()
+
+let default () =
+  Mutex.protect default_lock (fun () ->
+      match !default_pool with
+      | Some p -> p
+      | None ->
+          let p = create () in
+          default_pool := Some p;
+          p)

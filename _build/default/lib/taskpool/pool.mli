@@ -1,0 +1,41 @@
+(** A fixed pool of OCaml 5 domains executing submitted thunks.
+
+    This is the intra-node parallelism substrate (the role Kokkos/OpenMP
+    play for the paper's reference codes): the functional interpreter and
+    the SPMD executor use it to run independent leaf tasks of an index
+    launch in parallel.
+
+    Restrictions: [await] and the [parallel_*] helpers must be called from
+    outside the pool (typically the main domain), never from within a pooled
+    task — a worker blocking on other workers can deadlock the pool. *)
+
+type t
+
+val create : ?domains:int -> unit -> t
+(** [domains] defaults to [Domain.recommended_domain_count () - 1], at
+    least 1. The pool starts immediately. *)
+
+val size : t -> int
+(** Number of worker domains. *)
+
+val shutdown : t -> unit
+(** Waits for queued work to drain, then joins all workers. Idempotent. *)
+
+type 'a future
+
+val async : t -> (unit -> 'a) -> 'a future
+val await : 'a future -> 'a
+(** Re-raises any exception the task raised. *)
+
+val parallel_for : t -> lo:int -> hi:int -> (int -> unit) -> unit
+(** [parallel_for p ~lo ~hi f] runs [f i] for [lo <= i <= hi] (inclusive),
+    split into chunks across the pool. Exceptions from any iteration are
+    re-raised (one of them, arbitrarily) after all chunks finish. *)
+
+val parallel_map_array : t -> ('a -> 'b) -> 'a array -> 'b array
+
+val with_pool : ?domains:int -> (t -> 'a) -> 'a
+(** Create a pool, run, always shut down. *)
+
+val default : unit -> t
+(** A lazily created shared pool, sized by the machine. *)

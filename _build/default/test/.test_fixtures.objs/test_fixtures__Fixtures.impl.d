@@ -1,0 +1,1 @@
+test/fixtures.ml: Accessor Array Field Float Index_space Ir List Partition Printf Privilege Program Random Regions Task

@@ -1,0 +1,298 @@
+(* Unit and property tests for the geometry substrate: rectangles, interval
+   trees, BVH, sorted integer sets. Property tests check every structure
+   against a brute-force model. *)
+
+open Geometry
+
+let check = Alcotest.check
+let qtest ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+(* ---------- generators ---------- *)
+
+let gen_point dim =
+  QCheck2.Gen.(array_size (return dim) (int_range (-20) 20))
+
+let gen_rect dim =
+  QCheck2.Gen.(
+    let* a = gen_point dim in
+    let* b = gen_point dim in
+    return (Rect.make (Point.min_pt a b) (Point.max_pt a b)))
+
+let gen_rect_any = QCheck2.Gen.(int_range 1 3 >>= gen_rect)
+
+let gen_interval =
+  QCheck2.Gen.(
+    let* a = int_range (-100) 100 in
+    let* len = int_range 0 30 in
+    return (Interval.make a (a + len)))
+
+let gen_iset =
+  QCheck2.Gen.(
+    let* l = list_size (int_range 0 60) (int_range 0 99) in
+    return (Sorted_iset.of_list l))
+
+(* ---------- Point / Rect unit tests ---------- *)
+
+let test_point_basics () =
+  let p = Point.make3 1 2 3 in
+  check Alcotest.int "dim" 3 (Point.dim p);
+  check Alcotest.int "x" 1 (Point.x p);
+  check Alcotest.int "z" 3 (Point.z p);
+  check Alcotest.bool "eq" true (Point.equal p (Point.make3 1 2 3));
+  check Alcotest.bool "lex" true (Point.compare (Point.make2 1 9) (Point.make2 2 0) < 0);
+  check Alcotest.bool "add" true
+    (Point.equal (Point.add p (Point.make3 1 1 1)) (Point.make3 2 3 4))
+
+let test_rect_basics () =
+  let r = Rect.make2 ~lo:(0, 0) ~hi:(3, 4) in
+  check Alcotest.int "volume" 20 (Rect.volume r);
+  check Alcotest.int "extent0" 4 (Rect.extent r 0);
+  check Alcotest.bool "contains" true (Rect.contains r (Point.make2 3 4));
+  check Alcotest.bool "not contains" false (Rect.contains r (Point.make2 4 0));
+  (match Rect.intersect r (Rect.make2 ~lo:(2, 2) ~hi:(9, 9)) with
+  | Some i -> check Alcotest.int "inter volume" 6 (Rect.volume i)
+  | None -> Alcotest.fail "expected overlap");
+  check Alcotest.bool "disjoint" true
+    (Rect.intersect r (Rect.make2 ~lo:(4, 0) ~hi:(5, 1)) = None);
+  (try
+     ignore (Rect.make1 3 2);
+     Alcotest.fail "empty rect accepted"
+   with Invalid_argument _ -> ())
+
+let test_rect_split () =
+  let r = Rect.make2 ~lo:(0, 0) ~hi:(9, 9) in
+  let a, b = Rect.split_at r ~axis:1 ~at:4 in
+  check Alcotest.int "left volume" 40 (Rect.volume a);
+  check Alcotest.int "right volume" 60 (Rect.volume b);
+  check Alcotest.bool "disjoint halves" false (Rect.overlap a b);
+  check Alcotest.int "cover" 100 (Rect.volume (Rect.union_bbox a b))
+
+let test_block_1d () =
+  (* 10 elements in 3 pieces: 4,3,3. *)
+  check Alcotest.(option (pair int int)) "p0" (Some (0, 3))
+    (Rect.block_1d ~lo:0 ~hi:9 ~pieces:3 ~index:0);
+  check Alcotest.(option (pair int int)) "p1" (Some (4, 6))
+    (Rect.block_1d ~lo:0 ~hi:9 ~pieces:3 ~index:1);
+  check Alcotest.(option (pair int int)) "p2" (Some (7, 9))
+    (Rect.block_1d ~lo:0 ~hi:9 ~pieces:3 ~index:2);
+  (* More pieces than elements: trailing pieces empty. *)
+  check Alcotest.(option (pair int int)) "empty" None
+    (Rect.block_1d ~lo:0 ~hi:1 ~pieces:4 ~index:3)
+
+let prop_linearize_roundtrip =
+  qtest "linearize/delinearize roundtrip" gen_rect_any (fun r ->
+      let ok = ref true in
+      let v = Rect.volume r in
+      if v <= 4096 then
+        for k = 0 to v - 1 do
+          if Rect.linearize r (Rect.delinearize r k) <> k then ok := false
+        done;
+      !ok)
+
+let prop_linearize_monotone =
+  qtest "linearize is row-major monotone" gen_rect_any (fun r ->
+      let v = min (Rect.volume r) 2048 in
+      let prev = ref (-1) and ok = ref true in
+      for k = 0 to v - 1 do
+        let id = Rect.linearize r (Rect.delinearize r k) in
+        if id <= !prev then ok := false;
+        prev := id
+      done;
+      !ok)
+
+let prop_overlap_model =
+  qtest "overlap agrees with pointwise model"
+    QCheck2.Gen.(
+      let* d = int_range 1 2 in
+      let* a = gen_rect d in
+      let* b = gen_rect d in
+      return (a, b))
+    (fun (a, b) ->
+      let brute =
+        Rect.fold (fun acc p -> acc || Rect.contains b p) false a
+      in
+      Rect.overlap a b = brute)
+
+let prop_block_cover =
+  qtest "block_1d pieces tile the range"
+    QCheck2.Gen.(
+      let* lo = int_range (-50) 50 in
+      let* n = int_range 1 40 in
+      let* pieces = int_range 1 12 in
+      return (lo, lo + n - 1, pieces))
+    (fun (lo, hi, pieces) ->
+      let covered = Array.make (hi - lo + 1) 0 in
+      for index = 0 to pieces - 1 do
+        match Rect.block_1d ~lo ~hi ~pieces ~index with
+        | None -> ()
+        | Some (a, b) ->
+            for x = a to b do
+              covered.(x - lo) <- covered.(x - lo) + 1
+            done
+      done;
+      Array.for_all (fun c -> c = 1) covered)
+
+(* ---------- Interval tree ---------- *)
+
+let prop_interval_tree_query =
+  qtest "interval tree query = brute force"
+    QCheck2.Gen.(
+      let* items = list_size (int_range 0 40) gen_interval in
+      let* q = gen_interval in
+      return (items, q))
+    (fun (items, q) ->
+      let tagged = List.mapi (fun i iv -> (iv, i)) items in
+      let tree = Interval_tree.build tagged in
+      let got =
+        List.sort compare (List.map snd (Interval_tree.query tree q))
+      in
+      let want =
+        List.sort compare
+          (List.filter_map
+             (fun (iv, i) -> if Interval.overlap iv q then Some i else None)
+             tagged)
+      in
+      got = want)
+
+let prop_interval_tree_stab =
+  qtest "interval tree stab = brute force"
+    QCheck2.Gen.(
+      let* items = list_size (int_range 0 40) gen_interval in
+      let* x = int_range (-120) 120 in
+      return (items, x))
+    (fun (items, x) ->
+      let tagged = List.mapi (fun i iv -> (iv, i)) items in
+      let tree = Interval_tree.build tagged in
+      let got = List.sort compare (List.map snd (Interval_tree.stab tree x)) in
+      let want =
+        List.sort compare
+          (List.filter_map
+             (fun (iv, i) -> if Interval.contains iv x then Some i else None)
+             tagged)
+      in
+      got = want)
+
+let test_interval_tree_empty () =
+  let t = Interval_tree.build [] in
+  check Alcotest.int "size" 0 (Interval_tree.size t);
+  check Alcotest.bool "query empty" true
+    (Interval_tree.query t (Interval.make 0 10) = [])
+
+(* ---------- BVH ---------- *)
+
+let prop_bvh_query =
+  qtest "bvh query = brute force"
+    QCheck2.Gen.(
+      let* d = int_range 1 3 in
+      let* items = list_size (int_range 0 40) (gen_rect d) in
+      let* q = gen_rect d in
+      return (items, q))
+    (fun (items, q) ->
+      let tagged = List.mapi (fun i r -> (r, i)) items in
+      let bvh = Bvh.build tagged in
+      let got = List.sort compare (List.map snd (Bvh.query bvh q)) in
+      let want =
+        List.sort compare
+          (List.filter_map
+             (fun (r, i) -> if Rect.overlap r q then Some i else None)
+             tagged)
+      in
+      got = want)
+
+let test_bvh_empty () =
+  let t = Bvh.build [] in
+  check Alcotest.int "size" 0 (Bvh.size t);
+  check Alcotest.bool "no hits" true (Bvh.query t (Rect.make1 0 5) = [])
+
+(* ---------- Sorted_iset ---------- *)
+
+module IS = Set.Make (Int)
+
+let model s = IS.of_list (Array.to_list (Sorted_iset.to_array s))
+
+let prop_iset_ops =
+  qtest "set algebra matches Set.Make(Int)"
+    QCheck2.Gen.(pair gen_iset gen_iset)
+    (fun (a, b) ->
+      let ma = model a and mb = model b in
+      IS.equal (model (Sorted_iset.union a b)) (IS.union ma mb)
+      && IS.equal (model (Sorted_iset.inter a b)) (IS.inter ma mb)
+      && IS.equal (model (Sorted_iset.diff a b)) (IS.diff ma mb)
+      && Sorted_iset.disjoint a b = IS.disjoint ma mb
+      && Sorted_iset.subset a b = IS.subset ma mb)
+
+let prop_iset_mem =
+  qtest "mem matches model"
+    QCheck2.Gen.(pair gen_iset (int_range (-5) 105))
+    (fun (s, x) -> Sorted_iset.mem s x = IS.mem x (model s))
+
+let prop_iset_blocks =
+  qtest "choose_block pieces partition the set"
+    QCheck2.Gen.(pair gen_iset (int_range 1 8))
+    (fun (s, pieces) ->
+      let parts =
+        List.init pieces (fun index -> Sorted_iset.choose_block s ~pieces ~index)
+      in
+      let reunion = List.fold_left Sorted_iset.union Sorted_iset.empty parts in
+      let sizes = List.map Sorted_iset.cardinal parts in
+      let max_size = List.fold_left max 0 sizes
+      and min_size = List.fold_left min max_int sizes in
+      Sorted_iset.equal reunion s
+      && (Sorted_iset.cardinal s < pieces || max_size - min_size <= 1))
+
+let prop_iset_runs =
+  qtest "runs cover exactly the set, maximal and disjoint" gen_iset (fun s ->
+      let runs = Sorted_iset.runs s in
+      let cover =
+        List.fold_left
+          (fun acc (iv : Interval.t) ->
+            Sorted_iset.union acc (Sorted_iset.range iv.Interval.lo iv.Interval.hi))
+          Sorted_iset.empty runs
+      in
+      let rec maximal = function
+        | (a : Interval.t) :: (b : Interval.t) :: rest ->
+            a.Interval.hi + 1 < b.Interval.lo && maximal (b :: rest)
+        | _ -> true
+      in
+      Sorted_iset.equal cover s && maximal runs)
+
+let test_iset_basics () =
+  let s = Sorted_iset.of_list [ 5; 1; 3; 1; 5 ] in
+  check Alcotest.int "cardinal dedups" 3 (Sorted_iset.cardinal s);
+  check Alcotest.int "min" 1 (Sorted_iset.min_elt s);
+  check Alcotest.int "max" 5 (Sorted_iset.max_elt s);
+  check Alcotest.int "nth" 3 (Sorted_iset.nth s 1);
+  check Alcotest.bool "range" true
+    (Sorted_iset.equal (Sorted_iset.range 2 4) (Sorted_iset.of_list [ 2; 3; 4 ]))
+
+let () =
+  Alcotest.run "geometry"
+    [
+      ( "point-rect",
+        [
+          Alcotest.test_case "point basics" `Quick test_point_basics;
+          Alcotest.test_case "rect basics" `Quick test_rect_basics;
+          Alcotest.test_case "rect split" `Quick test_rect_split;
+          Alcotest.test_case "block_1d" `Quick test_block_1d;
+          prop_linearize_roundtrip;
+          prop_linearize_monotone;
+          prop_overlap_model;
+          prop_block_cover;
+        ] );
+      ( "interval-tree",
+        [
+          Alcotest.test_case "empty" `Quick test_interval_tree_empty;
+          prop_interval_tree_query;
+          prop_interval_tree_stab;
+        ] );
+      ("bvh", [ Alcotest.test_case "empty" `Quick test_bvh_empty; prop_bvh_query ]);
+      ( "sorted-iset",
+        [
+          Alcotest.test_case "basics" `Quick test_iset_basics;
+          prop_iset_ops;
+          prop_iset_mem;
+          prop_iset_blocks;
+          prop_iset_runs;
+        ] );
+    ]

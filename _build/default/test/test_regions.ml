@@ -1,0 +1,443 @@
+(* Tests for the region data model: index-space algebra, partitioning
+   operators, region trees (static disjointness), physical instances and
+   privilege-checked accessors. *)
+
+open Geometry
+open Regions
+
+let check = Alcotest.check
+let qtest ?(count = 150) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+(* ---------- index spaces ---------- *)
+
+let u2 = Rect.make2 ~lo:(0, 0) ~hi:(9, 9)
+
+let gen_structured =
+  QCheck2.Gen.(
+    let gen_subrect =
+      let* x0 = int_range 0 9 in
+      let* y0 = int_range 0 9 in
+      let* x1 = int_range x0 9 in
+      let* y1 = int_range y0 9 in
+      return (Rect.make2 ~lo:(x0, y0) ~hi:(x1, y1))
+    in
+    let* rl = list_size (int_range 0 4) gen_subrect in
+    return (Index_space.of_rects ~universe:u2 rl))
+
+let gen_unstructured =
+  QCheck2.Gen.(
+    let* l = list_size (int_range 0 50) (int_range 0 79) in
+    return (Index_space.of_iset ~universe_size:80 (Sorted_iset.of_list l)))
+
+module IS = Set.Make (Int)
+
+let ids_model s = IS.of_list (Array.to_list (Sorted_iset.to_array (Index_space.ids s)))
+
+let algebra_props name gen =
+  qtest (name ^ ": algebra matches id-set model")
+    QCheck2.Gen.(pair gen gen)
+    (fun (a, b) ->
+      let ma = ids_model a and mb = ids_model b in
+      IS.equal (ids_model (Index_space.inter a b)) (IS.inter ma mb)
+      && IS.equal (ids_model (Index_space.union a b)) (IS.union ma mb)
+      && IS.equal (ids_model (Index_space.diff a b)) (IS.diff ma mb)
+      && Index_space.disjoint a b = IS.disjoint ma mb
+      && Index_space.subset a b = IS.subset ma mb
+      && Index_space.cardinal a = IS.cardinal ma)
+
+let prop_structured_algebra = algebra_props "structured" gen_structured
+let prop_unstructured_algebra = algebra_props "unstructured" gen_unstructured
+
+let prop_structured_mem =
+  qtest "structured mem agrees with ids"
+    QCheck2.Gen.(pair gen_structured (int_range 0 99))
+    (fun (s, id) -> Index_space.mem s id = IS.mem id (ids_model s))
+
+let prop_structured_disjoint_rects =
+  qtest "rect decomposition is pairwise disjoint" gen_structured (fun s ->
+      let rl = Index_space.rects s in
+      let rec pairwise = function
+        | [] -> true
+        | r :: rest ->
+            (not (List.exists (Rect.overlap r) rest)) && pairwise rest
+      in
+      pairwise rl)
+
+let test_bounds_interval () =
+  let s = Index_space.of_rects ~universe:u2 [ Rect.make2 ~lo:(1, 1) ~hi:(2, 2) ] in
+  (match Index_space.bounds_interval s with
+  | Some iv -> check Alcotest.(pair int int) "bounds" (11, 22) (iv.Interval.lo, iv.Interval.hi)
+  | None -> Alcotest.fail "bounds of non-empty space");
+  check Alcotest.bool "empty bounds" true
+    (Index_space.bounds_interval (Index_space.empty_like s) = None)
+
+(* ---------- partitions ---------- *)
+
+let fields1 = [ Field.make "val" ]
+
+let test_block_structured () =
+  let r = Region.create ~name:"grid" (Index_space.of_rect u2) fields1 in
+  let p = Partition.block ~name:"blk" r ~pieces:3 in
+  check Alcotest.int "colors" 3 (Partition.color_count p);
+  check Alcotest.bool "disjoint" true (Partition.verify_disjoint p);
+  let total =
+    Array.fold_left
+      (fun acc c -> acc + Region.cardinal (Partition.sub p c))
+      0
+      (Array.init 3 (fun i -> i))
+  in
+  check Alcotest.int "covers" 100 total
+
+let test_block_grid () =
+  let r = Region.create ~name:"grid" (Index_space.of_rect u2) fields1 in
+  let p = Partition.block_grid ~name:"tiles" r ~grid:[| 2; 5 |] in
+  check Alcotest.int "colors" 10 (Partition.color_count p);
+  check Alcotest.bool "disjoint" true (Partition.verify_disjoint p);
+  Array.iter
+    (fun c ->
+      check Alcotest.int "tile size" 10 (Region.cardinal (Partition.sub p c)))
+    (Array.init 10 (fun i -> i))
+
+let test_block_unstructured () =
+  let r = Region.create ~name:"graph" (Index_space.of_range 11) fields1 in
+  let p = Partition.block ~name:"blk" r ~pieces:4 in
+  let sizes =
+    List.init 4 (fun c -> Region.cardinal (Partition.sub p c))
+  in
+  check Alcotest.(list int) "sizes" [ 3; 3; 3; 2 ] sizes;
+  check Alcotest.bool "disjoint" true (Partition.verify_disjoint p)
+
+let test_coloring () =
+  let r = Region.create ~name:"elts" (Index_space.of_range 20) fields1 in
+  let p = Partition.of_coloring ~name:"mod3" r ~colors:3 (fun e -> e mod 3) in
+  check Alcotest.bool "disjoint" true (Partition.verify_disjoint p);
+  check Alcotest.int "color1 size" 7 (Region.cardinal (Partition.sub p 1));
+  check Alcotest.bool "member" true
+    (Index_space.mem (Partition.sub p 1).Region.ispace 4)
+
+let test_image_preimage () =
+  (* src: 12 elements in 3 blocks; h(e) = e/2 into a 6-element target. *)
+  let src_r = Region.create ~name:"edges" (Index_space.of_range 12) fields1 in
+  let tgt_r = Region.create ~name:"nodes" (Index_space.of_range 6) fields1 in
+  let psrc = Partition.block ~name:"psrc" src_r ~pieces:3 in
+  let h e = e / 2 in
+  let img = Partition.image ~name:"img" ~target:tgt_r ~src:psrc (fun e -> [ h e ]) in
+  check Alcotest.int "img colors" 3 (Partition.color_count img);
+  (* block 0 = {0..3} -> {0,1}; block 1 = {4..7} -> {2,3}; block 2 -> {4,5} *)
+  check Alcotest.bool "img c0" true
+    (Index_space.equal (Partition.sub img 0).Region.ispace
+       (Index_space.of_iset ~universe_size:6 (Sorted_iset.of_list [ 0; 1 ])));
+  check Alcotest.bool "aliased flag" true
+    (img.Partition.disjointness = Partition.Aliased);
+  let pre =
+    Partition.preimage ~name:"pre" ~src:src_r ~target:psrc h
+  in
+  (* preimage of psrc under h within a 12-elt src: h(e) in psrc[c].
+     psrc[0]={0..3} -> e/2 in {0..3} -> e in {0..7}; clipped to src. *)
+  check Alcotest.bool "pre c0" true
+    (Index_space.equal (Partition.sub pre 0).Region.ispace
+       (Index_space.of_iset ~universe_size:12 (Sorted_iset.range 0 7)));
+  check Alcotest.bool "pre disjoint" true
+    (pre.Partition.disjointness = Partition.Disjoint)
+
+let test_image_rects () =
+  let u = Rect.make1 0 99 in
+  let r = Region.create ~name:"line" (Index_space.of_rect u) fields1 in
+  let p = Partition.block ~name:"blk" r ~pieces:4 in
+  (* Halo: grow each block by 1 on both sides (radius-1 stencil). *)
+  let grow (rc : Rect.t) =
+    [ Rect.make1 (rc.Rect.lo.(0) - 1) (rc.Rect.hi.(0) + 1) ]
+  in
+  let halo = Partition.image_rects ~name:"halo" ~target:r ~src:p grow in
+  check Alcotest.int "halo c0 size" 26 (Region.cardinal (Partition.sub halo 0));
+  check Alcotest.int "halo c1 size" 27 (Region.cardinal (Partition.sub halo 1));
+  check Alcotest.bool "aliased" true
+    (halo.Partition.disjointness = Partition.Aliased)
+
+let prop_explicit_disjointness =
+  qtest "of_explicit detects disjointness"
+    QCheck2.Gen.(
+      let* spaces = array_size (int_range 1 4) gen_unstructured in
+      return spaces)
+    (fun spaces ->
+      let r = Region.create ~name:"r" (Index_space.of_range 80) fields1 in
+      let p = Partition.of_explicit ~name:"p" r spaces in
+      (p.Partition.disjointness = Partition.Disjoint)
+      = Partition.verify_disjoint p)
+
+let prop_image_preimage_adjoint =
+  (* e is in preimage(target)[c] exactly when h(e) is in target[c]; and
+     x is in image(src)[c] exactly when some e in src[c] maps to it. *)
+  qtest "image/preimage adjunction"
+    QCheck2.Gen.(
+      let* stride = int_range 1 19 in
+      let* pieces = int_range 1 5 in
+      return (stride, pieces))
+    (fun (stride, pieces) ->
+      let n = 20 in
+      let h e = (e * stride) mod n in
+      let src_r = Region.create ~name:"s" (Index_space.of_range n) fields1 in
+      let tgt_r = Region.create ~name:"t" (Index_space.of_range n) fields1 in
+      let tgt_p = Partition.block ~name:"tp" tgt_r ~pieces in
+      let img =
+        Partition.image ~name:"img" ~target:tgt_r
+          ~src:(Partition.block ~name:"sp" src_r ~pieces)
+          (fun e -> [ h e ])
+      in
+      let pre = Partition.preimage ~name:"pre" ~src:src_r ~target:tgt_p h in
+      let ok = ref true in
+      for c = 0 to pieces - 1 do
+        for e = 0 to n - 1 do
+          let in_pre = Index_space.mem (Partition.sub pre c).Region.ispace e in
+          let h_in_tgt =
+            Index_space.mem (Partition.sub tgt_p c).Region.ispace (h e)
+          in
+          if in_pre <> h_in_tgt then ok := false
+        done;
+        (* image of block c = { h(e) | e in block c } *)
+        let sp = Partition.block ~name:"sp2" src_r ~pieces in
+        let expected =
+          Index_space.fold_ids
+            (fun acc e -> h e :: acc)
+            []
+            (Partition.sub sp c).Region.ispace
+        in
+        if
+          not
+            (Index_space.equal (Partition.sub img c).Region.ispace
+               (Index_space.of_iset ~universe_size:n (Sorted_iset.of_list expected)))
+        then ok := false
+      done;
+      !ok)
+
+let prop_intersect_region_preserves_disjointness =
+  qtest "intersect_region keeps disjointness and shrinks subregions"
+    QCheck2.Gen.(pair (int_range 1 6) gen_unstructured)
+    (fun (pieces, space) ->
+      let r = Region.create ~name:"r" (Index_space.of_range 80) fields1 in
+      let p = Partition.block ~name:"p" r ~pieces in
+      let q = Partition.intersect_region ~name:"q" p space in
+      q.Partition.disjointness = p.Partition.disjointness
+      && List.for_all
+           (fun c ->
+             Index_space.subset (Partition.sub q c).Region.ispace
+               (Index_space.inter (Partition.sub p c).Region.ispace space)
+             && Index_space.subset (Partition.sub q c).Region.ispace
+                  (Partition.sub p c).Region.ispace)
+           (List.init pieces Fun.id))
+
+let prop_copy_volume =
+  qtest "copy_volume counts the intersection"
+    QCheck2.Gen.(pair gen_unstructured gen_unstructured)
+    (fun (sa, sb) ->
+      let f = Field.make "val" in
+      let src = Physical.create_over sa [ f ]
+      and dst = Physical.create_over sb [ f ] in
+      Physical.copy_volume ~src ~dst
+      = Index_space.cardinal (Index_space.inter sa sb))
+
+(* ---------- region tree ---------- *)
+
+let make_paper_tree () =
+  (* The Fig. 3 region tree: A with disjoint PA; B with disjoint PB and
+     aliased QB. *)
+  let tree = Region_tree.create () in
+  let a = Region.create ~name:"A" (Index_space.of_range 16) fields1 in
+  let b = Region.create ~name:"B" (Index_space.of_range 16) fields1 in
+  Region_tree.register_root tree a;
+  Region_tree.register_root tree b;
+  let pa = Partition.block ~name:"PA" a ~pieces:4 in
+  let pb = Partition.block ~name:"PB" b ~pieces:4 in
+  let qb =
+    Partition.image ~name:"QB" ~target:b ~src:pb (fun e ->
+        [ (e + 3) mod 16 ])
+  in
+  Region_tree.register_partition tree pa;
+  Region_tree.register_partition tree pb;
+  Region_tree.register_partition tree qb;
+  (tree, a, b, pa, pb, qb)
+
+let test_tree_lca () =
+  let tree, a, b, pa, pb, qb = make_paper_tree () in
+  let sub = Partition.sub in
+  check Alcotest.bool "PA[0] vs PA[1] disjoint" true
+    (Region_tree.provably_disjoint tree (sub pa 0) (sub pa 1));
+  check Alcotest.bool "PA[0] vs PA[0] same region aliases" false
+    (Region_tree.provably_disjoint tree (sub pa 0) (sub pa 0));
+  check Alcotest.bool "PB[0] vs QB[1] may alias" false
+    (Region_tree.provably_disjoint tree (sub pb 0) (sub qb 1));
+  check Alcotest.bool "QB[0] vs QB[1] may alias" false
+    (Region_tree.provably_disjoint tree (sub qb 0) (sub qb 1));
+  check Alcotest.bool "PA[0] vs PB[0] different trees" true
+    (Region_tree.provably_disjoint tree (sub pa 0) (sub pb 0));
+  check Alcotest.bool "B vs QB[0] ancestor aliases" false
+    (Region_tree.provably_disjoint tree b (sub qb 0));
+  check Alcotest.bool "root of QB[0]" true
+    (Region.equal (Region_tree.root_of tree (sub qb 0)) b);
+  check Alcotest.bool "ancestors of PA[2]" true
+    (Region_tree.ancestor_regions tree (sub pa 2) = [ a ])
+
+let test_tree_soundness () =
+  (* provably_disjoint within one tree implies actually-disjoint ispaces
+     (regions with different roots have unrelated storage, so only
+     same-rooted pairs are meaningful). *)
+  let tree, _, _, pa, pb, qb = make_paper_tree () in
+  let regions =
+    List.concat_map
+      (fun p -> List.init (Partition.color_count p) (Partition.sub p))
+      [ pa; pb; qb ]
+  in
+  List.iter
+    (fun r1 ->
+      List.iter
+        (fun r2 ->
+          if
+            Region.equal (Region_tree.root_of tree r1)
+              (Region_tree.root_of tree r2)
+            && Region_tree.provably_disjoint tree r1 r2
+          then
+            check Alcotest.bool
+              (Printf.sprintf "%s vs %s actually disjoint" r1.Region.name
+                 r2.Region.name)
+              true
+              (Index_space.disjoint r1.Region.ispace r2.Region.ispace))
+        regions)
+    regions
+
+let test_hierarchical_tree () =
+  (* The §4.5 private/ghost idiom: top-level disjoint split proves the
+     private partition disjoint from ghost partitions. *)
+  let tree = Region_tree.create () in
+  let b = Region.create ~name:"B" (Index_space.of_range 100) fields1 in
+  Region_tree.register_root tree b;
+  let split =
+    Partition.of_coloring ~name:"private_v_ghost" b ~colors:2 (fun e ->
+        if e mod 10 < 8 then 0 else 1)
+  in
+  Region_tree.register_partition tree split;
+  let all_private = Partition.sub split 0
+  and all_ghost = Partition.sub split 1 in
+  let pb = Partition.block ~name:"PB" all_private ~pieces:4 in
+  let sb = Partition.block ~name:"SB" all_ghost ~pieces:4 in
+  let qb =
+    Partition.of_explicit ~name:"QB" ~disjoint:false all_ghost
+      (Array.init 4 (fun c ->
+           (Partition.sub sb ((c + 1) mod 4)).Region.ispace))
+  in
+  Region_tree.register_partition tree pb;
+  Region_tree.register_partition tree sb;
+  Region_tree.register_partition tree qb;
+  check Alcotest.bool "PB[i] disjoint from QB[j]" true
+    (Region_tree.provably_disjoint tree (Partition.sub pb 0)
+       (Partition.sub qb 0));
+  check Alcotest.bool "SB[i] vs QB[j] may alias" false
+    (Region_tree.provably_disjoint tree (Partition.sub sb 1)
+       (Partition.sub qb 0))
+
+(* ---------- physical instances and accessors ---------- *)
+
+let test_physical_copy () =
+  let f = Field.make "val" in
+  let r = Region.create ~name:"r" (Index_space.of_range 10) [ f ] in
+  let src = Physical.create r in
+  Index_space.iter_ids
+    (fun id -> Physical.set src f id (float_of_int (id * id)))
+    r.Region.ispace;
+  let sub =
+    Index_space.of_iset ~universe_size:10 (Sorted_iset.of_list [ 2; 3; 7 ])
+  in
+  let dst = Physical.create_over ~init:(-1.) sub [ f ] in
+  Physical.copy_into ~src ~dst ();
+  check (Alcotest.float 0.) "copied" 49. (Physical.get dst f 7);
+  check Alcotest.int "copy volume" 3 (Physical.copy_volume ~src ~dst);
+  (* Reduction copy: dst += src on the intersection. *)
+  Physical.reduce_into ~op:Privilege.Sum ~src ~dst ();
+  check (Alcotest.float 0.) "reduced" 98. (Physical.get dst f 7);
+  (try
+     ignore (Physical.get dst f 0);
+     Alcotest.fail "out-of-instance access accepted"
+   with Invalid_argument _ -> ())
+
+let test_accessor_privileges () =
+  let f = Field.make "val" and g = Field.make "other" in
+  let r = Region.create ~name:"r" (Index_space.of_range 10) [ f; g ] in
+  let inst = Physical.create r in
+  let sub =
+    Index_space.of_iset ~universe_size:10 (Sorted_iset.range 0 4)
+  in
+  let ro = Accessor.make inst ~space:sub [ Privilege.reads f ] in
+  let rw = Accessor.make inst ~space:sub [ Privilege.writes f ] in
+  let red = Accessor.make inst ~space:sub [ Privilege.reduces Privilege.Sum f ] in
+  Accessor.set rw f 1 5.;
+  check (Alcotest.float 0.) "rw set/get" 5. (Accessor.get rw f 1);
+  check (Alcotest.float 0.) "ro get" 5. (Accessor.get ro f 1);
+  Accessor.reduce red f 1 2.;
+  check (Alcotest.float 0.) "reduce applied" 7. (Accessor.get ro f 1);
+  let expect_violation name thunk =
+    try
+      thunk ();
+      Alcotest.fail (name ^ ": expected privilege violation")
+    with Accessor.Privilege_violation _ -> ()
+  in
+  expect_violation "write under read" (fun () -> Accessor.set ro f 0 1.);
+  expect_violation "read under reduce" (fun () -> ignore (Accessor.get red f 0));
+  expect_violation "write under reduce" (fun () -> Accessor.set red f 0 1.);
+  expect_violation "undeclared field" (fun () -> ignore (Accessor.get ro g 0));
+  expect_violation "outside subregion" (fun () -> ignore (Accessor.get ro f 9))
+
+let prop_copy_respects_intersection =
+  qtest "copy_into touches exactly the intersection"
+    QCheck2.Gen.(pair gen_unstructured gen_unstructured)
+    (fun (sa, sb) ->
+      let f = Field.make "val" in
+      let src = Physical.create_over ~init:1. sa [ f ] in
+      let dst = Physical.create_over ~init:0. sb [ f ] in
+      Physical.copy_into ~src ~dst ();
+      let ok = ref true in
+      Index_space.iter_ids
+        (fun id ->
+          let expected = if Index_space.mem sa id then 1. else 0. in
+          if Physical.get dst f id <> expected then ok := false)
+        sb;
+      !ok)
+
+let () =
+  Alcotest.run "regions"
+    [
+      ( "index-space",
+        [
+          prop_structured_algebra;
+          prop_unstructured_algebra;
+          prop_structured_mem;
+          prop_structured_disjoint_rects;
+          Alcotest.test_case "bounds interval" `Quick test_bounds_interval;
+        ] );
+      ( "partition",
+        [
+          Alcotest.test_case "block structured" `Quick test_block_structured;
+          Alcotest.test_case "block grid" `Quick test_block_grid;
+          Alcotest.test_case "block unstructured" `Quick test_block_unstructured;
+          Alcotest.test_case "coloring" `Quick test_coloring;
+          Alcotest.test_case "image/preimage" `Quick test_image_preimage;
+          Alcotest.test_case "image rects" `Quick test_image_rects;
+          prop_explicit_disjointness;
+          prop_image_preimage_adjoint;
+          prop_intersect_region_preserves_disjointness;
+        ] );
+      ( "region-tree",
+        [
+          Alcotest.test_case "LCA disjointness" `Quick test_tree_lca;
+          Alcotest.test_case "static soundness" `Quick test_tree_soundness;
+          Alcotest.test_case "hierarchical private/ghost" `Quick
+            test_hierarchical_tree;
+        ] );
+      ( "physical",
+        [
+          Alcotest.test_case "copy and reduce copy" `Quick test_physical_copy;
+          Alcotest.test_case "accessor privileges" `Quick
+            test_accessor_privileges;
+          prop_copy_respects_intersection;
+          prop_copy_volume;
+        ] );
+    ]

@@ -1,0 +1,228 @@
+(* Tests for the machine simulator: core pools, the machine model, the
+   dynamic dependence analysis, and sanity properties of the two
+   simulators (the mechanisms behind Figures 6-9). *)
+
+open Regions
+open Ir
+
+let check = Alcotest.check
+
+(* ---------- cores ---------- *)
+
+let test_cores_serialize () =
+  let p = Realm.Cores.create ~cores:2 in
+  (* Three unit tasks on two cores: two run at 0, one queues. *)
+  let t1 = Realm.Cores.execute p ~ready:0. ~duration:1. in
+  let t2 = Realm.Cores.execute p ~ready:0. ~duration:1. in
+  let t3 = Realm.Cores.execute p ~ready:0. ~duration:1. in
+  check (Alcotest.float 1e-9) "first" 1. t1;
+  check (Alcotest.float 1e-9) "second" 1. t2;
+  check (Alcotest.float 1e-9) "third queues" 2. t3;
+  check (Alcotest.float 1e-9) "busy until" 2. (Realm.Cores.busy_until p);
+  Realm.Cores.reset p;
+  check (Alcotest.float 1e-9) "reset" 0. (Realm.Cores.busy_until p)
+
+let test_cores_ready_gap () =
+  let p = Realm.Cores.create ~cores:1 in
+  let t1 = Realm.Cores.execute p ~ready:5. ~duration:1. in
+  check (Alcotest.float 1e-9) "waits for ready" 6. t1
+
+(* ---------- machine ---------- *)
+
+let test_machine_model () =
+  let m = Realm.Machine.piz_daint ~nodes:16 in
+  check Alcotest.int "compute cores" 11 (Realm.Machine.compute_cores m);
+  check Alcotest.bool "intra-node cheaper" true
+    (Realm.Machine.transfer_time m ~src_node:3 ~dst_node:3 ~bytes:1e6
+    < Realm.Machine.transfer_time m ~src_node:3 ~dst_node:4 ~bytes:1e6);
+  check Alcotest.bool "collective grows with nodes" true
+    (Realm.Machine.collective_time (Realm.Machine.piz_daint ~nodes:1024)
+    > Realm.Machine.collective_time m);
+  check (Alcotest.float 0.) "no noise by default" 1.
+    (Realm.Machine.jitter m ~key:123);
+  let noisy = Realm.Machine.make ~nodes:4 ~task_noise:0.1 () in
+  let j = Realm.Machine.jitter noisy ~key:123 in
+  check Alcotest.bool "noise in range" true (j >= 1. && j <= 1.6);
+  check (Alcotest.float 0.) "deterministic" j
+    (Realm.Machine.jitter noisy ~key:123)
+
+(* ---------- dependence analysis ---------- *)
+
+let stmts_of prog =
+  match
+    List.find_map
+      (function Types.For_time { body; _ } -> Some body | _ -> None)
+      prog.Program.body
+  with
+  | Some body ->
+      List.filter
+        (function
+          | Types.Index_launch _ | Types.Index_launch_reduce _ -> true
+          | _ -> false)
+        body
+  | None -> Alcotest.fail "no loop"
+
+let test_dep_fig2 () =
+  let prog = Test_fixtures.Fixtures.fig2 () in
+  match stmts_of prog with
+  | [ tf; tg ] ->
+      (* TF writes PB / TG reads QB (aliased through B): data pairs.
+         TF reads PA / TG writes PA: same disjoint partition. *)
+      (match Legion.Dep.relate prog tf tg with
+      | Legion.Dep.All_colors { data; order = _ } ->
+          check Alcotest.bool "has data pairs" true (data <> []);
+          List.iter
+            (fun (p : Spmd.Intersections.pairs) ->
+              check Alcotest.bool "non-empty intersections" true
+                (p.Spmd.Intersections.items <> []))
+            data
+      | _ -> Alcotest.fail "expected All_colors TF->TG");
+      (match Legion.Dep.relate prog tg tf with
+      | Legion.Dep.All_colors _ -> ()
+      | Legion.Dep.Same_color | Legion.Dep.No_dep ->
+          Alcotest.fail "expected aliasing TG->TF (PA write vs read is \
+                         same-partition but QB read vs PB write aliases)")
+  | _ -> Alcotest.fail "expected two launches"
+
+let test_dep_independent () =
+  (* Two launches touching different regions: no dependence. *)
+  let fv = Test_fixtures.Fixtures.fv in
+  let b = Program.Builder.create ~name:"indep" in
+  let r1 = Program.Builder.region b ~name:"R1" (Index_space.of_range 8) [ fv ] in
+  let r2 = Program.Builder.region b ~name:"R2" (Index_space.of_range 8) [ fv ] in
+  let _ =
+    Program.Builder.partition b ~name:"P1" (fun ~name ->
+        Partition.block ~name r1 ~pieces:2)
+  in
+  let _ =
+    Program.Builder.partition b ~name:"P2" (fun ~name ->
+        Partition.block ~name r2 ~pieces:2)
+  in
+  Program.Builder.space b ~name:"I" 2;
+  let w name =
+    Task.make ~name
+      ~params:[ { Task.pname = "out"; privs = [ Privilege.writes fv ] } ]
+      (fun _ _ -> 0.)
+  in
+  Program.Builder.task b (w "w1");
+  Program.Builder.task b (w "w2");
+  let module Syn = Program.Syntax in
+  Program.Builder.body b
+    [
+      Syn.for_time "t" 1
+        [
+          Syn.forall "I" (Syn.call "w1" [ Syn.part "P1" ]);
+          Syn.forall "I" (Syn.call "w2" [ Syn.part "P2" ]);
+        ];
+    ];
+  let prog = Program.Builder.finish b in
+  match stmts_of prog with
+  | [ s1; s2 ] ->
+      check Alcotest.bool "no dep" true (Legion.Dep.relate prog s1 s2 = Legion.Dep.No_dep)
+  | _ -> Alcotest.fail "expected two launches"
+
+(* ---------- simulator sanity ---------- *)
+
+let stencil_cr nodes =
+  let cfg = Apps.Stencil.default ~nodes in
+  let prog = Apps.Stencil.program cfg in
+  let compiled = Cr.Pipeline.compile (Cr.Pipeline.default ~shards:nodes) prog in
+  (Legion.Sim_spmd.simulate
+     ~machine:(Realm.Machine.piz_daint ~nodes)
+     ~steps:6 compiled)
+    .Legion.Sim_spmd.per_step
+
+let stencil_nocr nodes =
+  let cfg = Apps.Stencil.default ~nodes in
+  let prog = Apps.Stencil.program cfg in
+  (Legion.Sim_implicit.simulate
+     ~machine:(Realm.Machine.piz_daint ~nodes)
+     ~steps:6 prog)
+    .Legion.Sim_implicit.per_step
+
+let test_cr_weak_scaling_flat () =
+  (* The paper's headline: CR keeps near-perfect weak scaling. *)
+  let t1 = stencil_cr 1 and t64 = stencil_cr 64 in
+  check Alcotest.bool "within 5% of single node" true (t64 < t1 *. 1.05)
+
+let test_nocr_collapses () =
+  (* Without CR the master O(N) launch overhead dominates at scale (Fig. 1):
+     per-step time grows roughly linearly once saturated. *)
+  let t1 = stencil_nocr 1 and t256 = stencil_nocr 256 and t512 = stencil_nocr 512 in
+  check Alcotest.bool "much slower at 256 nodes" true (t256 > t1 *. 2.);
+  check Alcotest.bool "roughly linear beyond saturation" true
+    (t512 > t256 *. 1.7 && t512 < t256 *. 2.3)
+
+let test_cr_beats_nocr_at_scale () =
+  check Alcotest.bool "CR wins at 64 nodes" true (stencil_cr 64 < stencil_nocr 64)
+
+let test_nocr_matches_at_small_scale () =
+  (* At 1 node the two models should roughly agree (same work, same cores):
+     this pins the simulators against each other. *)
+  let cr = stencil_cr 1 and nocr = stencil_nocr 1 in
+  check Alcotest.bool "within 10% at one node" true
+    (Float.abs (cr -. nocr) /. cr < 0.10)
+
+let test_sim_deterministic () =
+  let a = stencil_cr 16 and b = stencil_cr 16 in
+  check (Alcotest.float 0.) "bitwise deterministic" a b
+
+let test_mapper_matters () =
+  (* A communication-hostile round-robin mapping moves far more data than
+     the locality-preserving block mapping (§4.2: mapping decisions are
+     orthogonal to CR but visible in the model). *)
+  let cfg = Apps.Circuit.sim_config ~nodes:8 in
+  let scale = Apps.Circuit.scale cfg in
+  let machine = Realm.Machine.piz_daint ~nodes:8 in
+  let prog = Apps.Circuit.program cfg in
+  let run mapper =
+    (Legion.Sim_implicit.simulate ~machine ~mapper ~scale ~steps:4 prog)
+      .Legion.Sim_implicit.bytes_moved
+  in
+  let block = run (Legion.Mapper.block ~nodes:8)
+  and rr = run (Legion.Mapper.round_robin ~nodes:8) in
+  check Alcotest.bool "round robin moves more data" true (rr > 2. *. block)
+
+let test_barrier_mode_slower () =
+  let cfg = Apps.Circuit.sim_config ~nodes:32 in
+  let scale = Apps.Circuit.scale cfg in
+  let machine = Realm.Machine.piz_daint ~nodes:32 in
+  let run sync =
+    let prog = Apps.Circuit.program cfg in
+    let compiled =
+      Cr.Pipeline.compile { (Cr.Pipeline.default ~shards:32) with Cr.Pipeline.sync } prog
+    in
+    (Legion.Sim_spmd.simulate ~machine ~scale ~steps:6 compiled)
+      .Legion.Sim_spmd.per_step
+  in
+  check Alcotest.bool "barriers cost more" true (run `Barrier > run `P2p)
+
+let () =
+  Alcotest.run "simulator"
+    [
+      ( "cores",
+        [
+          Alcotest.test_case "multiserver queueing" `Quick test_cores_serialize;
+          Alcotest.test_case "ready gap" `Quick test_cores_ready_gap;
+        ] );
+      ("machine", [ Alcotest.test_case "model" `Quick test_machine_model ]);
+      ( "dependence",
+        [
+          Alcotest.test_case "fig2 relations" `Quick test_dep_fig2;
+          Alcotest.test_case "independent stmts" `Quick test_dep_independent;
+        ] );
+      ( "weak-scaling",
+        [
+          Alcotest.test_case "CR stays flat" `Quick test_cr_weak_scaling_flat;
+          Alcotest.test_case "no-CR collapses" `Quick test_nocr_collapses;
+          Alcotest.test_case "CR wins at scale" `Quick test_cr_beats_nocr_at_scale;
+          Alcotest.test_case "models agree at 1 node" `Quick
+            test_nocr_matches_at_small_scale;
+          Alcotest.test_case "simulation deterministic" `Quick
+            test_sim_deterministic;
+          Alcotest.test_case "barrier sync costs more" `Quick
+            test_barrier_mode_slower;
+          Alcotest.test_case "mapping locality matters" `Quick
+            test_mapper_matters;
+        ] );
+    ]

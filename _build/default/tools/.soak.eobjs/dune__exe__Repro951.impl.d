@@ -1,0 +1,1 @@
+tools/repro951.ml: Cr Interp Ir List Printf Program Regions Spmd Test_fixtures

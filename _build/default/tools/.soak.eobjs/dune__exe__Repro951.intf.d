@@ -1,0 +1,1 @@
+tools/repro951.mli:

@@ -1,0 +1,1 @@
+tools/repro951b.ml: Cr Interp Ir List Pretty Printf Program Regions Spmd Test_fixtures

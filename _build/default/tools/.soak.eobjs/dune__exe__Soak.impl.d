@@ -1,0 +1,1 @@
+tools/soak.ml: Array Cr Field Interp Ir List Physical Printf Program Region Regions Spmd Sys Test_fixtures

@@ -1,0 +1,27 @@
+open Ir
+let region_data ctx prog =
+  List.concat_map
+    (fun rname ->
+      let r = Program.find_region prog rname in
+      let inst = Interp.Run.region_instance ctx r in
+      List.map (fun f -> (rname, Regions.Field.name f, Regions.Physical.to_alist inst f)) r.Regions.Region.fields)
+    (Program.region_names prog)
+let () =
+  let seed = 951 in
+  let p1 = Test_fixtures.Fixtures.random_program seed in
+  let c1 = Interp.Run.create p1 in
+  Interp.Run.run c1;
+  let a = region_data c1 p1 in
+  List.iter (fun sched_name ->
+    for trial = 1 to 10 do
+      let p2 = Test_fixtures.Fixtures.random_program seed in
+      let compiled = Cr.Pipeline.compile (Cr.Pipeline.default ~shards:7) p2 in
+      let c2 = Interp.Run.create compiled.Spmd.Prog.source in
+      let sched = match sched_name with
+        | "rr" -> `Round_robin | "rand" -> `Random (951*31+7) | _ -> `Domains in
+      Spmd.Exec.run ~sched compiled c2;
+      let b = region_data c2 p2 in
+      if a <> b then Printf.printf "%s trial %d: MISMATCH\n%!" sched_name trial
+    done;
+    Printf.printf "%s: 10 trials done\n%!" sched_name)
+    ["rr"; "rand"; "domains"]

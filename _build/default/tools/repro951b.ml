@@ -1,0 +1,36 @@
+open Ir
+let () =
+  let seed = 951 in
+  let p1 = Test_fixtures.Fixtures.random_program seed in
+  print_endline (Pretty.program_to_string p1);
+  let c1 = Interp.Run.create p1 in
+  Interp.Run.run c1;
+  let p2 = Test_fixtures.Fixtures.random_program seed in
+  let compiled = Cr.Pipeline.compile (Cr.Pipeline.default ~shards:7) p2 in
+  print_endline (Spmd.Prog.to_string compiled);
+  (* run domains until mismatch, print differing elements *)
+  let rec hunt n =
+    if n = 0 then print_endline "no mismatch in 20 tries"
+    else begin
+      let c2 = Interp.Run.create compiled.Spmd.Prog.source in
+      Spmd.Exec.run ~sched:`Domains compiled c2;
+      let diff = ref [] in
+      List.iter (fun rname ->
+        let r1 = Program.find_region p1 rname and r2 = Program.find_region p2 rname in
+        let i1 = Interp.Run.region_instance c1 r1 and i2 = Interp.Run.region_instance c2 r2 in
+        List.iter (fun f ->
+          List.iter2 (fun (id, a) (_, b) ->
+            if a <> b then diff := (rname, Regions.Field.name f, id, a, b) :: !diff)
+            (Regions.Physical.to_alist i1 f) (Regions.Physical.to_alist i2 f))
+          r1.Regions.Region.fields)
+        (Program.region_names p1);
+      if !diff = [] then hunt (n-1)
+      else begin
+        Printf.printf "MISMATCH (%d elements):\n" (List.length !diff);
+        List.iteri (fun k (rn, fn, id, a, b) ->
+          if k < 10 then Printf.printf "  %s.%s[%d] seq=%.17g dom=%.17g\n" rn fn id a b)
+          (List.rev !diff)
+      end
+    end
+  in
+  hunt 20

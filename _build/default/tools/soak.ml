@@ -1,0 +1,57 @@
+(* Long-running randomized equivalence soak (not part of `dune runtest`):
+   for a seed range, run every generated program sequentially and through
+   the full control-replication pipeline at several shard counts and
+   schedules, and require bitwise-identical results.
+
+     dune exec tools/soak.exe -- 0 4000
+
+   A clean run prints `soak done [lo..hi]: 0 bad`. *)
+open Regions
+open Ir
+
+let region_data ctx prog =
+  List.concat_map
+    (fun rname ->
+      let r = Program.find_region prog rname in
+      let inst = Interp.Run.region_instance ctx r in
+      List.map
+        (fun f -> (rname, Field.name f, Physical.to_alist inst f))
+        r.Region.fields)
+    (Program.region_names prog)
+
+let () =
+  let lo = int_of_string Sys.argv.(1) and hi = int_of_string Sys.argv.(2) in
+  let bad = ref 0 in
+  for seed = lo to hi do
+    let prog1 = Test_fixtures.Fixtures.random_program seed in
+    let ctx1 = Interp.Run.create prog1 in
+    Interp.Run.run ctx1;
+    let a = region_data ctx1 prog1 in
+    let sa =
+      List.map (fun n -> (n, Interp.Run.scalar ctx1 n)) (Program.scalar_names prog1)
+    in
+    List.iter
+      (fun shards ->
+        let prog2 = Test_fixtures.Fixtures.random_program seed in
+        let compiled = Cr.Pipeline.compile (Cr.Pipeline.default ~shards) prog2 in
+        List.iter
+          (fun sched ->
+            let ctx2 = Interp.Run.create compiled.Spmd.Prog.source in
+            (try Spmd.Exec.run ~sched compiled ctx2
+             with Spmd.Exec.Deadlock m ->
+               incr bad;
+               Printf.printf "DEADLOCK seed=%d shards=%d: %s\n%!" seed shards m);
+            let b = region_data ctx2 prog2 in
+            let sb =
+              List.map
+                (fun n -> (n, Interp.Run.scalar ctx2 n))
+                (Program.scalar_names prog2)
+            in
+            if a <> b || sa <> sb then begin
+              incr bad;
+              Printf.printf "MISMATCH seed=%d shards=%d\n%!" seed shards
+            end)
+          [ `Round_robin; `Random ((seed * 31) + shards); `Domains ])
+      [ 1; 2; 3; 4; 7 ]
+  done;
+  Printf.printf "soak done [%d..%d]: %d bad\n" lo hi !bad
