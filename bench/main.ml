@@ -393,6 +393,57 @@ let ablations () =
     (copies d)
     (copies { d with Cr.Pipeline.placement = false })
 
+(* ---------- resilience overhead ---------- *)
+
+(* What arming the fault injector (per-attempt rollback snapshots), firing
+   actual faults, and cutting checkpoints cost on a real (non-simulated)
+   SPMD execution. *)
+let resilience_overhead () =
+  header "Resilience overhead (stencil, real SPMD execution, 3 shards)";
+  let mk () = Apps.Stencil.program (Apps.Stencil.test_config ~nodes:3) in
+  let time f =
+    let reps = if fast then 3 else 10 in
+    ignore (f ());
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to reps do
+      ignore (f ())
+    done;
+    (Unix.gettimeofday () -. t0) /. float_of_int reps *. 1e3
+  in
+  let run ?policy ?checkpoint () =
+    let compiled = Cr.Pipeline.compile (Cr.Pipeline.default ~shards:3) (mk ()) in
+    let compiled =
+      match checkpoint with
+      | Some every ->
+          Spmd.Prog.map_blocks (Spmd.Prog.with_checkpoints ~every) compiled
+      | None -> compiled
+    in
+    let ctx = Interp.Run.create compiled.Spmd.Prog.source in
+    let fault =
+      Option.map (fun policy -> Resilience.Fault.create ~policy ~seed:7 ()) policy
+    in
+    let checkpoint_sink =
+      Option.map (fun _ (_ : Resilience.Checkpoint.t) -> ()) checkpoint
+    in
+    Spmd.Exec.run ?fault ?checkpoint_sink compiled ctx
+  in
+  let leaf =
+    {
+      Resilience.Fault.no_faults with
+      Resilience.Fault.leaf_fail_rate = 0.1;
+      leaf_retries = 6;
+    }
+  in
+  List.iter
+    (fun (name, f) -> Printf.printf "%30s %10.3f ms/run\n%!" name (time f))
+    [
+      ("baseline", fun () -> run ());
+      ( "armed, zero rates (snapshots)",
+        fun () -> run ~policy:Resilience.Fault.no_faults () );
+      ("10% leaf faults + rollback", fun () -> run ~policy:leaf ());
+      ("checkpoint every iteration", fun () -> run ~checkpoint:1 ());
+    ]
+
 (* ---------- Bechamel microbenchmarks ---------- *)
 
 let bechamel_suite () =
@@ -459,5 +510,6 @@ let () =
   fig9 ();
   table1 ();
   ablations ();
+  resilience_overhead ();
   if not no_bechamel then bechamel_suite ();
   Printf.printf "\nAll experiments complete.\n"

@@ -31,7 +31,7 @@ let uses_partition prog part fields instr =
   | Spmd.Prog.Fill { part = p; fields = fl; _ } ->
       p = part && overlap_fields fields fl
   | Spmd.Prog.Await _ | Spmd.Prog.Release _ | Spmd.Prog.Barrier
-  | Spmd.Prog.Assign _ ->
+  | Spmd.Prog.Assign _ | Spmd.Prog.Checkpoint _ ->
       false
   | Spmd.Prog.For_time _ ->
       invalid_arg "Placement: nested loop in replicated body"

@@ -33,6 +33,24 @@ let instance ctx name = root_instance_of ctx (Program.find_region ctx.prog name)
 let region_instance = root_instance_of
 let env ctx = ctx.env
 
+let root_instances ctx =
+  let seen = Hashtbl.create 8 in
+  List.filter_map
+    (fun (_, d) ->
+      match d with
+      | Types.Dregion r ->
+          let root = Region_tree.root_of ctx.prog.Program.tree r in
+          if Hashtbl.mem seen root.Region.id then None
+          else begin
+            Hashtbl.add seen root.Region.id ();
+            Option.map
+              (fun inst -> (root.Region.name, inst))
+              (Hashtbl.find_opt ctx.roots root.Region.id)
+          end
+      | Types.Dpartition _ | Types.Dspace _ | Types.Dscalar _ -> None)
+    ctx.prog.Program.decls
+  |> List.sort compare
+
 let scalars ctx =
   List.sort compare (Eval.bindings ctx.env)
 

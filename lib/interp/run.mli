@@ -29,6 +29,12 @@ val env : context -> Ir.Eval.env
 (** The mutable scalar environment (the SPMD executor replicates it into
     per-shard copies and writes results back). *)
 
+val root_instances : context -> (string * Regions.Physical.t) list
+(** All root-region instances, as (root region name, instance) pairs in
+    ascending name order — the checkpoint/restart machinery serializes and
+    restores these wholesale (names, unlike region ids, are stable across
+    program instances and processes). *)
+
 val scalars : context -> (string * float) list
 val scalar : context -> string -> float
 

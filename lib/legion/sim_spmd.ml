@@ -214,6 +214,10 @@ let exec_instr st (instr : Spmd.Prog.instr) =
       for s = 0 to shards - 1 do
         st.ctl.(s) <- done_at
       done
+  | Spmd.Prog.Checkpoint _ ->
+      (* The performance model has no fault model; checkpoints cost
+         nothing and move no simulated bytes. *)
+      ()
   | Spmd.Prog.For_time _ ->
       invalid_arg "Sim_spmd: nested loop reached exec_instr"
 

@@ -1,0 +1,52 @@
+(* Checkpoint/restart state for a replicated block.
+
+   A checkpoint is taken at a time-loop boundary with every shard
+   quiescent, so it is a consistent cut: the contents of every
+   (partition, color) instance, the root-region instances, and the
+   replicated scalar environment, tagged with the completed iteration.
+   The representation is plain ints/floats/strings, so [Marshal] round-
+   trips it safely across processes (the kill-and-resume path). *)
+
+open Regions
+
+type inst_data = (string * (int * float) list) list
+
+type t = {
+  iter : int;
+  insts : ((string * int) * inst_data) list;
+  roots : (string * inst_data) list;
+      (* keyed by root region *name*: region ids are process-global and
+         differ between the checkpointing run and a restarted one *)
+  scalars : (string * float) list;
+}
+
+let snapshot_inst inst =
+  List.map (fun f -> (Field.name f, Physical.to_alist inst f)) (Physical.fields inst)
+
+let restore_inst inst data =
+  List.iter
+    (fun (fname, cells) ->
+      let f = Field.make fname in
+      List.iter (fun (id, v) -> Physical.set inst f id v) cells)
+    data
+
+let magic = "ctrlrep-ckpt-v1"
+
+let save t ~path =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  output_string oc magic;
+  Marshal.to_channel oc t [];
+  close_out oc;
+  Sys.rename tmp path
+
+let load ~path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let m = really_input_string ic (String.length magic) in
+      if m <> magic then
+        invalid_arg
+          (Printf.sprintf "Checkpoint.load: %s is not a checkpoint file" path);
+      (Marshal.from_channel ic : t))

@@ -1,0 +1,38 @@
+(** Checkpoint/restart state for a replicated SPMD block.
+
+    Taken at a time-loop boundary with every shard quiescent (the
+    executor synchronises shards on a dedicated checkpoint barrier), a
+    checkpoint is a consistent cut of the run:
+
+    - every (partition, color) physical instance of the block,
+    - the root-region instances of the context (so a restart into a
+      fresh context needs no replay of the sequential prefix),
+    - the replicated scalar environment,
+    - the completed iteration number of the block's time loop.
+
+    A restart ([Spmd.Exec.run_block ?restore] / [Spmd.Exec.run ?restore])
+    restores all of the above, skips the block's initialization copies,
+    and resumes the time loop at [iter + 1]. *)
+
+type inst_data = (string * (int * float) list) list
+(** Field name -> (element id, value) pairs, id-ascending. *)
+
+type t = {
+  iter : int;  (** completed iterations of the block's time loop *)
+  insts : ((string * int) * inst_data) list;
+      (** (partition name, color) -> instance contents *)
+  roots : (string * inst_data) list;
+      (** root region name -> contents (names, unlike region ids, are
+          stable across program instances and processes) *)
+  scalars : (string * float) list;  (** replicated scalar environment *)
+}
+
+val snapshot_inst : Regions.Physical.t -> inst_data
+val restore_inst : Regions.Physical.t -> inst_data -> unit
+
+val save : t -> path:string -> unit
+(** Marshal to [path] via a temporary file and atomic rename, so a crash
+    mid-save never corrupts the latest checkpoint. *)
+
+val load : path:string -> t
+(** Raises [Invalid_argument] when [path] is not a checkpoint file. *)

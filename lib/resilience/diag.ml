@@ -1,0 +1,68 @@
+(* Structured stall/deadlock diagnostics: a per-shard picture of what the
+   SPMD executor was doing when the watchdog (or the stepper's
+   no-progress sweep) declared the run stuck. *)
+
+type chan = { copy_id : int; src : int; dst : int; war : int; raw : int }
+
+type wait =
+  | Running  (** executing, not blocked on runtime state *)
+  | At_copy of chan list  (** producer waiting for WAR credits *)
+  | At_await of chan list  (** consumer waiting for RAW tokens *)
+  | At_barrier of { arrived : int; generation : int }
+  | At_collective of {
+      var : string;
+      arrived : int;
+      consumed : int;
+      published : bool;
+    }
+  | At_checkpoint of { arrived : int; generation : int }
+  | Finished
+
+type shard = { sid : int; instr : string option; wait : wait }
+
+type t = {
+  reason : string;
+  shards : shard list;
+  barrier_arrived : int;
+  barrier_generation : int;
+}
+
+let pp_chan ppf c =
+  Format.fprintf ppf "copy#%d (%d->%d) war=%d raw=%d" c.copy_id c.src c.dst
+    c.war c.raw
+
+let pp_chans ppf l =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+    pp_chan ppf l
+
+let pp_wait ppf = function
+  | Running -> Format.pp_print_string ppf "running"
+  | At_copy l -> Format.fprintf ppf "blocked issuing copy on [%a]" pp_chans l
+  | At_await l -> Format.fprintf ppf "blocked awaiting copy on [%a]" pp_chans l
+  | At_barrier { arrived; generation } ->
+      Format.fprintf ppf "in barrier (arrived %d, generation %d)" arrived
+        generation
+  | At_collective { var; arrived; consumed; published } ->
+      Format.fprintf ppf
+        "in collective for %s (arrived %d, consumed %d, published %b)" var
+        arrived consumed published
+  | At_checkpoint { arrived; generation } ->
+      Format.fprintf ppf "in checkpoint barrier (arrived %d, generation %d)"
+        arrived generation
+  | Finished -> Format.pp_print_string ppf "finished"
+
+let pp_shard ppf s =
+  Format.fprintf ppf "shard %d: %a" s.sid pp_wait s.wait;
+  match s.instr with
+  | None -> ()
+  | Some i -> Format.fprintf ppf "@,  at: %s" i
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>%s@,barrier: arrived %d, generation %d@,%a@]" t.reason
+    t.barrier_arrived t.barrier_generation
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_shard)
+    t.shards
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,39 @@
+(** Structured per-shard stall/deadlock diagnostics.
+
+    When the SPMD executor declares a run stuck — immediately in the
+    cooperative stepper (a sweep in which every live shard is blocked),
+    or after the watchdog timeout under real domains — it raises
+    [Spmd.Exec.Deadlock] carrying one of these instead of a one-line
+    string: the blocked instruction of every shard, the synchronisation
+    channel counters it is waiting on, barrier generation and collective
+    slot state. *)
+
+type chan = { copy_id : int; src : int; dst : int; war : int; raw : int }
+(** One point-to-point channel [(copy_id, src color, dst color)] with its
+    current write-after-read credit and read-after-write token counts. *)
+
+type wait =
+  | Running
+  | At_copy of chan list
+  | At_await of chan list
+  | At_barrier of { arrived : int; generation : int }
+  | At_collective of {
+      var : string;
+      arrived : int;
+      consumed : int;
+      published : bool;
+    }
+  | At_checkpoint of { arrived : int; generation : int }
+  | Finished
+
+type shard = { sid : int; instr : string option; wait : wait }
+
+type t = {
+  reason : string;
+  shards : shard list;
+  barrier_arrived : int;
+  barrier_generation : int;
+}
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,134 @@
+type site =
+  | Leaf_task of string
+  | Release_delay of int
+  | Shard_stall
+
+let site_to_string = function
+  | Leaf_task t -> Printf.sprintf "leaf-task(%s)" t
+  | Release_delay id -> Printf.sprintf "release-delay(copy#%d)" id
+  | Shard_stall -> "shard-stall"
+
+exception Injected of { site : site; shard : int; occurrence : int }
+
+let () =
+  Printexc.register_printer (function
+    | Injected { site; shard; occurrence } ->
+        Some
+          (Printf.sprintf "Resilience.Fault.Injected(%s, shard %d, #%d)"
+             (site_to_string site) shard occurrence)
+    | _ -> None)
+
+type policy = {
+  leaf_fail_rate : float;
+  leaf_retries : int;
+  release_delay_rate : float;
+  release_delay_steps : int;
+  stall_rate : float;
+  stall_steps : int;
+  delay_seconds : float;
+  max_faults : int;
+}
+
+let default_policy =
+  {
+    leaf_fail_rate = 0.05;
+    leaf_retries = 3;
+    release_delay_rate = 0.02;
+    release_delay_steps = 3;
+    stall_rate = 0.02;
+    stall_steps = 4;
+    delay_seconds = 0.001;
+    max_faults = 1000;
+  }
+
+let no_faults =
+  {
+    default_policy with
+    leaf_fail_rate = 0.;
+    release_delay_rate = 0.;
+    stall_rate = 0.;
+  }
+
+type t = {
+  pol : policy;
+  fseed : int;
+  lock : Mutex.t;
+  counts : (site * int, int) Hashtbl.t; (* (site, shard) -> occurrences *)
+  mutable fired : (site * int * int) list;
+  mutable nfired : int;
+}
+
+let create ?(policy = default_policy) ~seed () =
+  {
+    pol = policy;
+    fseed = seed;
+    lock = Mutex.create ();
+    counts = Hashtbl.create 64;
+    fired = [];
+    nfired = 0;
+  }
+
+let policy t = t.pol
+let seed t = t.fseed
+
+(* splitmix64 finalizer: full-avalanche mix of the decision coordinates. *)
+let splitmix64 x =
+  let open Int64 in
+  let x = add x 0x9E3779B97F4A7C15L in
+  let x = mul (logxor x (shift_right_logical x 30)) 0xBF58476D1CE4E5B9L in
+  let x = mul (logxor x (shift_right_logical x 27)) 0x94D049BB133111EBL in
+  logxor x (shift_right_logical x 31)
+
+let site_code = function
+  | Leaf_task name -> 1 + (Hashtbl.hash name lsl 2)
+  | Release_delay id -> 2 + (id lsl 2)
+  | Shard_stall -> 3
+
+(* Uniform draw in [0,1) from (seed, site, shard, occurrence). *)
+let u01 ~seed ~site ~shard ~occurrence =
+  let h =
+    Int64.of_int
+      ((seed * 0x2545F491) lxor (site_code site * 0x9E3779B9)
+      lxor (shard * 0x85EBCA6B) lxor (occurrence * 0xC2B2AE35))
+  in
+  let bits = Int64.shift_right_logical (splitmix64 h) 11 in
+  Int64.to_float bits /. 9007199254740992. (* 2^53 *)
+
+let rate_of t = function
+  | Leaf_task _ -> t.pol.leaf_fail_rate
+  | Release_delay _ -> t.pol.release_delay_rate
+  | Shard_stall -> t.pol.stall_rate
+
+let draw t site ~shard =
+  let rate = rate_of t site in
+  if rate <= 0. then false
+  else begin
+    Mutex.lock t.lock;
+    let key = (site, shard) in
+    let occurrence =
+      match Hashtbl.find_opt t.counts key with Some n -> n | None -> 0
+    in
+    Hashtbl.replace t.counts key (occurrence + 1);
+    let fire =
+      t.nfired < t.pol.max_faults
+      && u01 ~seed:t.fseed ~site ~shard ~occurrence < rate
+    in
+    if fire then begin
+      t.fired <- (site, shard, occurrence) :: t.fired;
+      t.nfired <- t.nfired + 1
+    end;
+    Mutex.unlock t.lock;
+    fire
+  end
+
+let injected t =
+  Mutex.lock t.lock;
+  let n = t.nfired in
+  Mutex.unlock t.lock;
+  n
+
+let schedule t =
+  Mutex.lock t.lock;
+  let l = t.fired in
+  Mutex.unlock t.lock;
+  List.sort compare l

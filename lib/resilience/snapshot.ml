@@ -1,0 +1,23 @@
+(* Rollback snapshots for retryable leaf tasks: a saved copy of the
+   fields a task attempt may write, restorable after an injected fault.
+   Capture and restore use the physical-layer copy primitives, so a
+   snapshot is exactly the data a re-executed attempt must not observe. *)
+
+open Regions
+
+type entry = { target : Physical.t; fields : Field.t list; saved : Physical.t }
+type t = entry list
+
+let capture targets =
+  List.map
+    (fun (target, fields) ->
+      let saved = Physical.create_over (Physical.ispace target) fields in
+      Physical.copy_into ~fields ~src:target ~dst:saved ();
+      { target; fields; saved })
+    targets
+
+let restore t =
+  List.iter
+    (fun { target; fields; saved } ->
+      Physical.copy_into ~fields ~src:saved ~dst:target ())
+    t

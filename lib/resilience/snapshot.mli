@@ -1,0 +1,17 @@
+(** Rollback snapshots for retryable leaf tasks.
+
+    Before a leaf-task attempt runs with fault injection armed, the
+    executor captures the instances (restricted to the fields the task
+    holds write or reduce privilege on) the attempt may mutate; an
+    injected failure restores them and the attempt re-executes. The
+    privilege restriction is what makes re-execution safe: a leaf task
+    reads only read-privileged fields (unchanged by the failed attempt)
+    and writes only the snapshotted ones. *)
+
+type t
+
+val capture : (Regions.Physical.t * Regions.Field.t list) list -> t
+(** Save the listed fields of each instance. *)
+
+val restore : t -> unit
+(** Copy every saved field back into its original instance. *)

@@ -1,0 +1,47 @@
+(* A stall watchdog for the domains backend: a monitor domain polls an
+   [observe] closure and trips once the observed system has been
+   quiescent — every shard blocked in a wait — with an unchanged
+   progress counter for the full timeout. Quiescence is part of the
+   predicate so a slow shard (long kernel, injected stall) that is
+   *running* while others wait never trips the dog; only the state in
+   which nobody can move does. *)
+
+type observation = [ `Done | `Running of int | `Quiescent of int ]
+
+type t = { stop : bool Atomic.t; dog : unit Domain.t }
+
+let start ?(poll = 0.01) ~timeout ~observe ~trip () =
+  let stop = Atomic.make false in
+  let dog =
+    Domain.spawn (fun () ->
+        let last = ref (-1) in
+        let since = ref (Unix.gettimeofday ()) in
+        let rec loop () =
+          if not (Atomic.get stop) then begin
+            Unix.sleepf poll;
+            if not (Atomic.get stop) then begin
+              let now = Unix.gettimeofday () in
+              match observe () with
+              | `Done -> ()
+              | `Running n ->
+                  last := n;
+                  since := now;
+                  loop ()
+              | `Quiescent n ->
+                  if n <> !last then begin
+                    last := n;
+                    since := now;
+                    loop ()
+                  end
+                  else if now -. !since >= timeout then trip ()
+                  else loop ()
+            end
+          end
+        in
+        loop ())
+  in
+  { stop; dog }
+
+let stop t =
+  Atomic.set t.stop true;
+  Domain.join t.dog

@@ -1,9 +1,36 @@
 open Regions
 open Ir
 
-exception Deadlock of string
+exception Deadlock of Resilience.Diag.t
+
+let () =
+  Printexc.register_printer (function
+    | Deadlock d ->
+        Some ("Spmd.Exec.Deadlock:\n" ^ Resilience.Diag.to_string d)
+    | _ -> None)
 
 type sched = [ `Round_robin | `Random of int | `Domains ]
+
+(* Execution statistics: the intersection timings (paper Table 1) plus the
+   resilience counters (leaf-task attempts, rollback retries, injected
+   faults, checkpoints taken). Counters are atomic so the domains backend
+   can bump them without the monitor lock. *)
+type stats = {
+  isect : Intersections.stats;
+  attempts : int Atomic.t;
+  retries : int Atomic.t;
+  injected : int Atomic.t;
+  checkpoints : int Atomic.t;
+}
+
+let fresh_stats () =
+  {
+    isect = Intersections.fresh_stats ();
+    attempts = Atomic.make 0;
+    retries = Atomic.make 0;
+    injected = Atomic.make 0;
+    checkpoints = Atomic.make 0;
+  }
 
 (* ---------- per-block runtime state ---------- *)
 
@@ -34,11 +61,17 @@ type bstate = {
   mailbox : (int * int, (int * Physical.t) list ref) Hashtbl.t;
       (* (copy_id, dst color) -> staged reduction payloads *)
   barrier : barrier_state;
+  ckpt_barrier : barrier_state; (* dedicated barrier for Checkpoint instrs *)
   mutable collectives : (Prog.instr * collective_slot) list;
       (* keyed by the Launch_collective instruction itself, by physical
          identity — two distinct collectives can be structurally equal, but
          all shards share the same instruction values *)
+  fault : Resilience.Fault.t option;
+  rstats : stats option;
+  ckpt_sink : (Resilience.Checkpoint.t -> unit) option;
 }
+
+let bump st f = match st.rstats with None -> () | Some s -> Atomic.incr (f s)
 
 let part_of_operand source = function
   | Prog.Opart p -> Some (Program.find_partition source p)
@@ -74,7 +107,8 @@ let partitions_used (source : Program.t) (b : Prog.block) =
             add_operand c.Prog.src;
             add_operand c.Prog.dst
         | Prog.Fill { part; _ } -> add part
-        | Prog.Await _ | Prog.Release _ | Prog.Barrier | Prog.Assign _ -> ()
+        | Prog.Await _ | Prog.Release _ | Prog.Barrier | Prog.Assign _
+        | Prog.Checkpoint _ -> ()
         | Prog.For_time { body; _ } -> go body)
       instrs
   in
@@ -117,7 +151,8 @@ let fields_used_of_partition (source : Program.t) (b : Prog.block) pname =
             add_copy c c.Prog.dst
         | Prog.Fill { part; fields; _ } ->
             if part = pname then List.iter add fields
-        | Prog.Await _ | Prog.Release _ | Prog.Barrier | Prog.Assign _ -> ()
+        | Prog.Await _ | Prog.Release _ | Prog.Barrier | Prog.Assign _
+        | Prog.Checkpoint _ -> ()
         | Prog.For_time { body; _ } -> go body)
       instrs
   in
@@ -126,7 +161,9 @@ let fields_used_of_partition (source : Program.t) (b : Prog.block) pname =
   go b.Prog.finalize;
   !acc
 
-let create_state ?stats ~(source : Program.t) ctx (b : Prog.block) =
+let create_state ?stats ?fault ?ckpt_sink ~(source : Program.t) ctx
+    (b : Prog.block) =
+  let isect = Option.map (fun s -> s.isect) stats in
   let st =
     {
       source;
@@ -137,7 +174,11 @@ let create_state ?stats ~(source : Program.t) ctx (b : Prog.block) =
       chans = Hashtbl.create 64;
       mailbox = Hashtbl.create 16;
       barrier = { arrived = 0; generation = 0 };
+      ckpt_barrier = { arrived = 0; generation = 0 };
       collectives = [];
+      fault;
+      rstats = stats;
+      ckpt_sink;
     }
   in
   List.iter
@@ -157,8 +198,8 @@ let create_state ?stats ~(source : Program.t) ctx (b : Prog.block) =
       | Some src, Some dst ->
           let pairs =
             match c.Prog.pairs with
-            | `Sparse -> Intersections.compute ?stats ~src ~dst ()
-            | `Dense -> Intersections.compute_all_pairs ?stats ~src ~dst ()
+            | `Sparse -> Intersections.compute ?stats:isect ~src ~dst ()
+            | `Dense -> Intersections.compute_all_pairs ?stats:isect ~src ~dst ()
           in
           Hashtbl.replace st.pairs c.Prog.copy_id pairs;
           let war =
@@ -221,12 +262,16 @@ type wait_state =
   | Ready
   | In_barrier of int (* generation observed at arrival *)
   | In_collective of string (* deposited, waiting for the result *)
+  | In_ckpt of int (* checkpoint-barrier generation observed at arrival *)
 
 type shard = {
   sid : int;
   env : Eval.env;
   mutable frames : frame list;
   mutable wait : wait_state;
+  mutable stall : int; (* injected delay: remaining blocked attempts *)
+  mutable fault_drawn : bool; (* drew faults for the current instruction *)
+  mutable resume : int option; (* restart: first iteration of the time loop *)
 }
 
 let shard_done s = s.frames = []
@@ -240,10 +285,39 @@ let owned_space_colors st sid space =
   let n = Program.find_space st.source space in
   Prog.colors_of_shard ~shards:st.block.Prog.shards ~colors:n sid
 
+(* Instances (with their write/reduce-privileged fields) a launch color may
+   mutate — the rollback set for a retryable attempt. *)
+let written_instances st (task : Task.t) (l : Types.launch) c =
+  l.Types.rargs
+  |> List.mapi (fun k rarg ->
+         match rarg with
+         | Types.Part (pname, Types.Id) ->
+             let wfields =
+               List.filter_map
+                 (fun (pr : Privilege.t) ->
+                   match pr.Privilege.mode with
+                   | Privilege.Read_write | Privilege.Reduce _ ->
+                       Some pr.Privilege.field
+                   | Privilege.Read -> None)
+                 (Task.param_privs task k)
+             in
+             if wfields = [] then None
+             else Some (instance st pname c, wfields)
+         | Types.Part _ | Types.Whole _ -> None)
+  |> List.filter_map Fun.id
+
 (* Run one color of a launch against the replicated instances. Post-
    normalization, every argument uses the identity projection, so color [c]
-   of the launch touches exactly color [c] of each argument partition. *)
-let run_launch_color st env (l : Types.launch) c =
+   of the launch touches exactly color [c] of each argument partition.
+
+   With fault injection armed, every attempt snapshots its write set first;
+   an injected transient failure (raised *after* the kernel ran, the
+   worst case: the attempt corrupted its writes before dying) rolls the
+   snapshot back and re-executes, up to the policy's retry cap. Retried
+   execution is safe precisely because of the privilege discipline: the
+   kernel reads only read-privileged fields, which a failed attempt cannot
+   have changed. *)
+let run_launch_color st ~sid env (l : Types.launch) c =
   let task = Program.find_task st.source l.Types.task in
   let sargs = Array.map (Eval.sexpr env) l.Types.sargs in
   let accessors =
@@ -267,7 +341,31 @@ let run_launch_color st env (l : Types.launch) c =
                     "Spmd.Exec: whole-region argument %s in replicated code" r))
          l.Types.rargs)
   in
-  task.Task.kernel accessors sargs
+  let kernel () = task.Task.kernel accessors sargs in
+  match st.fault with
+  | None -> kernel ()
+  | Some inj ->
+      let site = Resilience.Fault.Leaf_task l.Types.task in
+      let pol = Resilience.Fault.policy inj in
+      let written = written_instances st task l c in
+      let rec attempt n =
+        bump st (fun s -> s.attempts);
+        let snap = Resilience.Snapshot.capture written in
+        let r = kernel () in
+        if Resilience.Fault.draw inj site ~shard:sid then begin
+          bump st (fun s -> s.injected);
+          if n < pol.Resilience.Fault.leaf_retries then begin
+            Resilience.Snapshot.restore snap;
+            bump st (fun s -> s.retries);
+            attempt (n + 1)
+          end
+          else
+            raise
+              (Resilience.Fault.Injected { site; shard = sid; occurrence = n })
+        end
+        else r
+      in
+      attempt 0
 
 let chan st key = Hashtbl.find st.chans key
 
@@ -382,13 +480,61 @@ let collective_slot st instr =
       st.collectives <- (instr, slot) :: st.collectives;
       slot
 
+(* ---------- checkpoint capture ---------- *)
+
+(* Build a consistent cut of the run. Callers guarantee quiescence: every
+   shard is parked at the checkpoint barrier of the same time-loop
+   boundary (stepper), or the capturing shard holds the monitor lock with
+   all others blocked on the same barrier (domains). *)
+let take_checkpoint st ~iter ~env sink =
+  let insts =
+    Hashtbl.fold
+      (fun key inst acc -> (key, Resilience.Checkpoint.snapshot_inst inst) :: acc)
+      st.insts []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  let roots =
+    List.map
+      (fun (id, inst) -> (id, Resilience.Checkpoint.snapshot_inst inst))
+      (Interp.Run.root_instances st.ctx)
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  let scalars = List.sort compare (Eval.bindings env) in
+  bump st (fun s -> s.checkpoints);
+  sink { Resilience.Checkpoint.iter; insts; roots; scalars }
+
+let restore_state st master_env (ck : Resilience.Checkpoint.t) =
+  List.iter
+    (fun ((pname, c), data) ->
+      Resilience.Checkpoint.restore_inst (instance st pname c) data)
+    ck.Resilience.Checkpoint.insts;
+  let roots = Interp.Run.root_instances st.ctx in
+  List.iter
+    (fun (name, data) ->
+      match List.assoc_opt name roots with
+      | Some inst -> Resilience.Checkpoint.restore_inst inst data
+      | None ->
+          invalid_arg
+            (Printf.sprintf "Spmd.Exec: checkpoint names unknown root %s" name))
+    ck.Resilience.Checkpoint.roots;
+  List.iter
+    (fun (k, v) -> Eval.set master_env k v)
+    ck.Resilience.Checkpoint.scalars
+
+(* Where a restarted block resumes: the first top-level time loop. *)
+let restart_point (b : Prog.block) (ck : Resilience.Checkpoint.t) =
+  match Prog.first_time_loop b with
+  | Some k -> (k, ck.Resilience.Checkpoint.iter + 1)
+  | None ->
+      invalid_arg "Spmd.Exec: cannot restore a block without a time loop"
+
 (* ---------- the stepper ---------- *)
 
-let push_loop s var count body =
-  if count > 0 then begin
-    Eval.set s.env var 0.;
+let push_loop ?(start = 0) s var count body =
+  if start < count then begin
+    Eval.set s.env var (float_of_int start);
     s.frames <-
-      { instrs = Array.of_list body; idx = 0; loop = Some { lvar = var; lcount = count; liter = 0 } }
+      { instrs = Array.of_list body; idx = 0; loop = Some { lvar = var; lcount = count; liter = start } }
       :: s.frames
   end
 
@@ -408,128 +554,275 @@ let rec normalize_frames s =
             normalize_frames s)
       else ()
 
-(* Execute (or block on) the shard's current instruction. Returns whether
-   the shard made progress. *)
+(* Draw the scheduler-level fault sites for the shard's current instruction
+   instance: a shard stall (any instruction) and a delayed channel release
+   (Release only). Drawn exactly once per instruction *instance* — blocked
+   re-attempts never re-draw — so the schedule is a function of the
+   shard's deterministic instruction stream, not of scheduling. *)
+let draw_instr_faults st s instr =
+  match st.fault with
+  | None -> ()
+  | Some inj ->
+      if not s.fault_drawn then begin
+        s.fault_drawn <- true;
+        let pol = Resilience.Fault.policy inj in
+        if Resilience.Fault.draw inj Resilience.Fault.Shard_stall ~shard:s.sid
+        then begin
+          bump st (fun x -> x.injected);
+          s.stall <- s.stall + pol.Resilience.Fault.stall_steps
+        end;
+        match instr with
+        | Prog.Release id ->
+            if
+              Resilience.Fault.draw inj
+                (Resilience.Fault.Release_delay id)
+                ~shard:s.sid
+            then begin
+              bump st (fun x -> x.injected);
+              s.stall <- s.stall + pol.Resilience.Fault.release_delay_steps
+            end
+        | _ -> ()
+      end
+
+(* Execute (or block on) the shard's current instruction. [`Stalled] means
+   an injected delay is pending — the shard cannot move, but will without
+   further events (so it never counts toward deadlock detection). *)
 let step st s =
   normalize_frames s;
   match s.frames with
   | [] -> `Done
   | f :: _ -> (
       let instr = f.instrs.(f.idx) in
-      let advance () =
-        f.idx <- f.idx + 1;
-        normalize_frames s;
-        `Progress
-      in
-      match instr with
-      | Prog.Assign (v, e) ->
-          Eval.set s.env v (Eval.sexpr s.env e);
-          advance ()
-      | Prog.For_time { var; count; body } ->
+      draw_instr_faults st s instr;
+      if s.stall > 0 then begin
+        s.stall <- s.stall - 1;
+        `Stalled
+      end
+      else
+        let advance () =
           f.idx <- f.idx + 1;
-          push_loop s var count body;
+          s.fault_drawn <- false;
           normalize_frames s;
           `Progress
-      | Prog.Launch { space; launch } ->
-          List.iter
-            (fun c -> ignore (run_launch_color st s.env launch c))
-            (owned_space_colors st s.sid space);
-          advance ()
-      | Prog.Fill { part; fields; op } ->
-          let p = Program.find_partition st.source part in
-          List.iter
-            (fun c ->
-              let inst = instance st part c in
-              List.iter
-                (fun fld -> Physical.fill inst fld (Privilege.identity_of op))
-                fields)
-            (Prog.colors_of_shard ~shards:st.block.Prog.shards
-               ~colors:(Partition.color_count p) s.sid);
-          advance ()
-      | Prog.Copy c -> (
-          match try_copy st s c with
-          | `Blocked -> `Blocked
-          | `Progress -> advance ())
-      | Prog.Await id -> (
-          match try_await st s id with
-          | `Blocked -> `Blocked
-          | `Progress -> advance ())
-      | Prog.Release id ->
-          do_release st s id;
-          advance ()
-      | Prog.Barrier -> (
-          match s.wait with
-          | In_barrier gen ->
-              if st.barrier.generation > gen then begin
-                s.wait <- Ready;
-                advance ()
-              end
-              else `Blocked
-          | Ready | In_collective _ ->
-              (* Arrival mutates shared state, so it counts as progress even
-                 though the shard then waits. *)
-              let gen = st.barrier.generation in
-              st.barrier.arrived <- st.barrier.arrived + 1;
-              s.wait <- In_barrier gen;
-              if st.barrier.arrived = st.block.Prog.shards then begin
-                st.barrier.arrived <- 0;
-                st.barrier.generation <- gen + 1;
-                s.wait <- Ready;
-                ignore (advance ())
-              end;
-              `Progress)
-      | Prog.Launch_collective { space; launch; var; op } as instr -> (
-          let slot = collective_slot st instr in
-          let shards = st.block.Prog.shards in
-          match s.wait with
-          | In_collective _ -> (
-              match slot.result with
-              | None -> `Blocked
-              | Some r ->
-                  Eval.set s.env var r;
-                  slot.consumed.(s.sid) <- true;
-                  if Array.for_all Fun.id slot.consumed then begin
-                    slot.values <- [];
-                    Array.fill slot.arrived 0 shards false;
-                    Array.fill slot.consumed 0 shards false;
-                    slot.result <- None
-                  end;
+        in
+        match instr with
+        | Prog.Assign (v, e) ->
+            Eval.set s.env v (Eval.sexpr s.env e);
+            advance ()
+        | Prog.For_time { var; count; body } ->
+            f.idx <- f.idx + 1;
+            s.fault_drawn <- false;
+            let start =
+              match s.resume with
+              | Some t0 ->
+                  s.resume <- None;
+                  t0
+              | None -> 0
+            in
+            push_loop ~start s var count body;
+            normalize_frames s;
+            `Progress
+        | Prog.Launch { space; launch } ->
+            List.iter
+              (fun c -> ignore (run_launch_color st ~sid:s.sid s.env launch c))
+              (owned_space_colors st s.sid space);
+            advance ()
+        | Prog.Fill { part; fields; op } ->
+            let p = Program.find_partition st.source part in
+            List.iter
+              (fun c ->
+                let inst = instance st part c in
+                List.iter
+                  (fun fld -> Physical.fill inst fld (Privilege.identity_of op))
+                  fields)
+              (Prog.colors_of_shard ~shards:st.block.Prog.shards
+                 ~colors:(Partition.color_count p) s.sid);
+            advance ()
+        | Prog.Copy c -> (
+            match try_copy st s c with
+            | `Blocked -> `Blocked
+            | `Progress -> advance ())
+        | Prog.Await id -> (
+            match try_await st s id with
+            | `Blocked -> `Blocked
+            | `Progress -> advance ())
+        | Prog.Release id ->
+            do_release st s id;
+            advance ()
+        | Prog.Barrier -> (
+            match s.wait with
+            | In_barrier gen ->
+                if st.barrier.generation > gen then begin
                   s.wait <- Ready;
-                  advance ())
-          | Ready | In_barrier _ ->
-              if slot.result <> None then
-                (* A previous round is still being drained by slower
-                   shards; wait for the reset. *)
-                `Blocked
-              else begin
-                (* Deposit per-color partial results; the last shard to
-                   arrive folds them in ascending color order (bitwise
-                   equal to the sequential fold) and publishes. *)
-                let mine =
-                  List.map
-                    (fun c -> (c, run_launch_color st s.env launch c))
-                    (owned_space_colors st s.sid space)
-                in
-                slot.values <- mine @ slot.values;
-                slot.arrived.(s.sid) <- true;
-                s.wait <- In_collective var;
-                if Array.for_all Fun.id slot.arrived then begin
-                  let sorted =
-                    List.sort
-                      (fun (a, _) (b, _) -> Int.compare a b)
-                      slot.values
-                  in
-                  slot.result <-
-                    Some
-                      (List.fold_left
-                         (fun acc (_, v) -> Privilege.apply_redop op acc v)
-                         (Privilege.identity_of op)
-                         sorted)
+                  advance ()
+                end
+                else `Blocked
+            | Ready | In_collective _ | In_ckpt _ ->
+                (* Arrival mutates shared state, so it counts as progress even
+                   though the shard then waits. *)
+                let gen = st.barrier.generation in
+                st.barrier.arrived <- st.barrier.arrived + 1;
+                s.wait <- In_barrier gen;
+                if st.barrier.arrived = st.block.Prog.shards then begin
+                  st.barrier.arrived <- 0;
+                  st.barrier.generation <- gen + 1;
+                  s.wait <- Ready;
+                  ignore (advance ())
                 end;
-                (* The deposit itself is progress; the shard picks the
-                   result up on a later step. *)
-                `Progress
-              end))
+                `Progress)
+        | Prog.Checkpoint { var; every } -> (
+            match st.ckpt_sink with
+            | None -> advance ()
+            | Some sink -> (
+                let t = int_of_float (Eval.get s.env var) in
+                if (t + 1) mod every <> 0 then advance ()
+                else
+                  (* A dedicated barrier quiesces every shard at this loop
+                     boundary; the last arriver serializes the cut. *)
+                  match s.wait with
+                  | In_ckpt gen ->
+                      if st.ckpt_barrier.generation > gen then begin
+                        s.wait <- Ready;
+                        advance ()
+                      end
+                      else `Blocked
+                  | Ready | In_barrier _ | In_collective _ ->
+                      let gen = st.ckpt_barrier.generation in
+                      st.ckpt_barrier.arrived <- st.ckpt_barrier.arrived + 1;
+                      s.wait <- In_ckpt gen;
+                      if st.ckpt_barrier.arrived = st.block.Prog.shards then begin
+                        st.ckpt_barrier.arrived <- 0;
+                        st.ckpt_barrier.generation <- gen + 1;
+                        take_checkpoint st ~iter:t ~env:s.env sink;
+                        s.wait <- Ready;
+                        ignore (advance ())
+                      end;
+                      `Progress))
+        | Prog.Launch_collective { space; launch; var; op } as instr -> (
+            let slot = collective_slot st instr in
+            let shards = st.block.Prog.shards in
+            match s.wait with
+            | In_collective _ -> (
+                match slot.result with
+                | None -> `Blocked
+                | Some r ->
+                    Eval.set s.env var r;
+                    slot.consumed.(s.sid) <- true;
+                    if Array.for_all Fun.id slot.consumed then begin
+                      slot.values <- [];
+                      Array.fill slot.arrived 0 shards false;
+                      Array.fill slot.consumed 0 shards false;
+                      slot.result <- None
+                    end;
+                    s.wait <- Ready;
+                    advance ())
+            | Ready | In_barrier _ | In_ckpt _ ->
+                if slot.result <> None then
+                  (* A previous round is still being drained by slower
+                     shards; wait for the reset. *)
+                  `Blocked
+                else begin
+                  (* Deposit per-color partial results; the last shard to
+                     arrive folds them in ascending color order (bitwise
+                     equal to the sequential fold) and publishes. *)
+                  let mine =
+                    List.map
+                      (fun c ->
+                        (c, run_launch_color st ~sid:s.sid s.env launch c))
+                      (owned_space_colors st s.sid space)
+                  in
+                  slot.values <- mine @ slot.values;
+                  slot.arrived.(s.sid) <- true;
+                  s.wait <- In_collective var;
+                  if Array.for_all Fun.id slot.arrived then begin
+                    let sorted =
+                      List.sort
+                        (fun (a, _) (b, _) -> Int.compare a b)
+                        slot.values
+                    in
+                    slot.result <-
+                      Some
+                        (List.fold_left
+                           (fun acc (_, v) -> Privilege.apply_redop op acc v)
+                           (Privilege.identity_of op)
+                           sorted)
+                  end;
+                  (* The deposit itself is progress; the shard picks the
+                     result up on a later step. *)
+                  `Progress
+                end))
+
+(* ---------- stall/deadlock diagnostics ---------- *)
+
+let chan_diag st (cid, i, j) =
+  let ch = chan st (cid, i, j) in
+  {
+    Resilience.Diag.copy_id = cid;
+    src = i;
+    dst = j;
+    war = ch.war;
+    raw = ch.raw;
+  }
+
+let count_true a = Array.fold_left (fun n b -> if b then n + 1 else n) 0 a
+
+(* The structured picture of a shard parked on [instr] (stepper side). *)
+let wait_of_instr st sid wait instr =
+  match instr with
+  | Prog.Copy c ->
+      Resilience.Diag.At_copy
+        (List.map
+           (fun (i, j, _) -> chan_diag st (c.Prog.copy_id, i, j))
+           (owned_src_pairs st sid c))
+  | Prog.Await id ->
+      let _, owned = owned_dst_pairs st sid id in
+      Resilience.Diag.At_await
+        (List.map (fun (i, j, _) -> chan_diag st (id, i, j)) owned)
+  | Prog.Barrier ->
+      Resilience.Diag.At_barrier
+        { arrived = st.barrier.arrived; generation = st.barrier.generation }
+  | Prog.Checkpoint _ ->
+      Resilience.Diag.At_checkpoint
+        {
+          arrived = st.ckpt_barrier.arrived;
+          generation = st.ckpt_barrier.generation;
+        }
+  | Prog.Launch_collective { var; _ } ->
+      let slot = collective_slot st instr in
+      Resilience.Diag.At_collective
+        {
+          var;
+          arrived = count_true slot.arrived;
+          consumed = count_true slot.consumed;
+          published = slot.result <> None;
+        }
+  | _ -> (
+      (* Not a blocking instruction; report the wait state instead. *)
+      match wait with
+      | In_barrier _ ->
+          Resilience.Diag.At_barrier
+            { arrived = st.barrier.arrived; generation = st.barrier.generation }
+      | _ -> Resilience.Diag.Running)
+
+let diagnose st ~reason shards =
+  let shard_diag s =
+    match s.frames with
+    | [] ->
+        { Resilience.Diag.sid = s.sid; instr = None; wait = Resilience.Diag.Finished }
+    | f :: _ ->
+        let instr = f.instrs.(f.idx) in
+        {
+          Resilience.Diag.sid = s.sid;
+          instr = Some (Format.asprintf "%a" Prog.pp_instr instr);
+          wait = wait_of_instr st s.sid s.wait instr;
+        }
+  in
+  {
+    Resilience.Diag.reason;
+    shards = List.map shard_diag shards;
+    barrier_arrived = st.barrier.arrived;
+    barrier_generation = st.barrier.generation;
+  }
 
 (* ---------- real-parallel execution on OCaml domains ----------
 
@@ -539,23 +832,33 @@ let step st s =
    happens outside the lock — the war/raw protocol itself guarantees
    exclusive access, which is exactly the property this mode stress-tests:
    if the compiler's synchronisation insertion were wrong, domains would
-   race or hang. *)
-let drive_domains st (b : Prog.block) master_env =
+   race or hang. A stall watchdog (lib/resilience) monitors per-shard
+   heartbeats: when every live shard sits in a wait with no progress for
+   the timeout, the run raises {!Deadlock} with per-shard diagnostics
+   instead of hanging forever. *)
+
+type domain_status = {
+  mutable cur : Prog.instr option; (* instruction being executed *)
+  mutable waiting : (unit -> Resilience.Diag.wait) option;
+  mutable finished : bool;
+}
+
+let drive_domains st (b : Prog.block) master_env ~watchdog ~restore =
   let m = Mutex.create () and cv = Condition.create () in
+  let shards = b.Prog.shards in
+  let progress = ref 0 in
+  let tripped = ref None in
+  let status =
+    Array.init shards (fun _ -> { cur = None; waiting = None; finished = false })
+  in
   let locked f =
     Mutex.lock m;
-    let r = f () in
-    Mutex.unlock m;
-    r
+    incr progress;
+    (* Exception-safe: a checkpoint sink or kernel raising inside a
+       critical section must not leave the monitor held (the other shards
+       could then never reach the watchdog's trip path). *)
+    Fun.protect ~finally:(fun () -> Mutex.unlock m) f
   in
-  let wait_until pred =
-    Mutex.lock m;
-    while not (pred ()) do
-      Condition.wait cv m
-    done;
-    Mutex.unlock m
-  in
-  let shards = b.Prog.shards in
   (* Pre-create collective slots so the lookup list is read-only while the
      domains run. *)
   let rec precreate instrs =
@@ -567,18 +870,60 @@ let drive_domains st (b : Prog.block) master_env =
       instrs
   in
   precreate b.Prog.body;
+  let body_arr = Array.of_list b.Prog.body in
+  let restart =
+    match restore with
+    | None -> None
+    | Some ck -> Some (restart_point b ck)
+  in
   let shard_main sid () =
     let env = Eval.copy master_env in
-    let rec exec = function
+    (* Block until [pred], parking a description of the wait for the
+       watchdog; raises once the watchdog has declared the run dead. *)
+    let wait_until ~why pred =
+      Mutex.lock m;
+      status.(sid).waiting <- Some why;
+      while not (pred ()) && !tripped = None do
+        Condition.wait cv m
+      done;
+      status.(sid).waiting <- None;
+      incr progress;
+      let dead = !tripped in
+      Mutex.unlock m;
+      match dead with Some d -> raise (Deadlock d) | None -> ()
+    in
+    let sleep_faults instr =
+      match st.fault with
+      | None -> ()
+      | Some inj ->
+          let pol = Resilience.Fault.policy inj in
+          if
+            Resilience.Fault.draw inj Resilience.Fault.Shard_stall ~shard:sid
+          then begin
+            bump st (fun x -> x.injected);
+            Unix.sleepf pol.Resilience.Fault.delay_seconds
+          end;
+          (match instr with
+          | Prog.Release id ->
+              if
+                Resilience.Fault.draw inj
+                  (Resilience.Fault.Release_delay id)
+                  ~shard:sid
+              then begin
+                bump st (fun x -> x.injected);
+                Unix.sleepf pol.Resilience.Fault.delay_seconds
+              end
+          | _ -> ())
+    in
+    let rec exec instr =
+      locked (fun () -> status.(sid).cur <- Some instr);
+      sleep_faults instr;
+      match instr with
       | Prog.Assign (v, e) -> Eval.set env v (Eval.sexpr env e)
-      | Prog.For_time { var; count; body } ->
-          for t = 0 to count - 1 do
-            Eval.set env var (float_of_int t);
-            List.iter exec body
-          done
+      | Prog.For_time { var; count; body } -> exec_for ~var ~count ~body ~from:0
       | Prog.Launch { space; launch } ->
           List.iter
-            (fun c -> ignore (run_launch_color st env launch c))
+            (fun c -> ignore (run_launch_color st ~sid env launch c))
             (owned_space_colors st sid space)
       | Prog.Fill { part; fields; op } ->
           let p = Program.find_partition st.source part in
@@ -598,7 +943,10 @@ let drive_domains st (b : Prog.block) master_env =
           List.iter
             (fun (i, j, space) ->
               let ch = chan st (c.Prog.copy_id, i, j) in
-              wait_until (fun () -> ch.war > 0);
+              wait_until
+                ~why:(fun () ->
+                  Resilience.Diag.At_copy [ chan_diag st (c.Prog.copy_id, i, j) ])
+                (fun () -> ch.war > 0);
               locked (fun () -> ch.war <- ch.war - 1);
               let src = instance st ps i and dst = instance st pd j in
               (match c.Prog.reduce with
@@ -626,7 +974,10 @@ let drive_domains st (b : Prog.block) master_env =
           List.iter
             (fun (i, j, _) ->
               let ch = chan st (copy_id, i, j) in
-              wait_until (fun () -> ch.raw > 0);
+              wait_until
+                ~why:(fun () ->
+                  Resilience.Diag.At_await [ chan_diag st (copy_id, i, j) ])
+                (fun () -> ch.raw > 0);
               locked (fun () -> ch.raw <- ch.raw - 1))
             owned;
           (match c.Prog.reduce with
@@ -675,14 +1026,60 @@ let drive_domains st (b : Prog.block) master_env =
                 end;
                 gen)
           in
-          wait_until (fun () -> st.barrier.generation > gen)
+          wait_until
+            ~why:(fun () ->
+              Resilience.Diag.At_barrier
+                {
+                  arrived = st.barrier.arrived;
+                  generation = st.barrier.generation;
+                })
+            (fun () -> st.barrier.generation > gen)
+      | Prog.Checkpoint { var; every } -> (
+          match st.ckpt_sink with
+          | None -> ()
+          | Some sink ->
+              let t = int_of_float (Eval.get env var) in
+              if (t + 1) mod every = 0 then begin
+                (* Quiesce all shards; the last arriver serializes the cut
+                   while holding the monitor (everyone else is parked on
+                   this barrier, so the data is stable). *)
+                let gen =
+                  locked (fun () ->
+                      let gen = st.ckpt_barrier.generation in
+                      st.ckpt_barrier.arrived <- st.ckpt_barrier.arrived + 1;
+                      if st.ckpt_barrier.arrived = shards then begin
+                        st.ckpt_barrier.arrived <- 0;
+                        take_checkpoint st ~iter:t ~env sink;
+                        st.ckpt_barrier.generation <- gen + 1;
+                        Condition.broadcast cv
+                      end;
+                      gen)
+                in
+                wait_until
+                  ~why:(fun () ->
+                    Resilience.Diag.At_checkpoint
+                      {
+                        arrived = st.ckpt_barrier.arrived;
+                        generation = st.ckpt_barrier.generation;
+                      })
+                  (fun () -> st.ckpt_barrier.generation > gen)
+              end)
       | Prog.Launch_collective { space; launch; var; op } as instr ->
           let slot = collective_slot st instr in
+          let why () =
+            Resilience.Diag.At_collective
+              {
+                var;
+                arrived = count_true slot.arrived;
+                consumed = count_true slot.consumed;
+                published = slot.result <> None;
+              }
+          in
           (* A previous round must have fully drained before depositing. *)
-          wait_until (fun () -> slot.result = None && not slot.arrived.(sid));
+          wait_until ~why (fun () -> slot.result = None && not slot.arrived.(sid));
           let mine =
             List.map
-              (fun c -> (c, run_launch_color st env launch c))
+              (fun c -> (c, run_launch_color st ~sid env launch c))
               (owned_space_colors st sid space)
           in
           locked (fun () ->
@@ -700,7 +1097,7 @@ let drive_domains st (b : Prog.block) master_env =
                        sorted)
               end;
               Condition.broadcast cv);
-          wait_until (fun () -> slot.result <> None);
+          wait_until ~why (fun () -> slot.result <> None);
           let r = locked (fun () -> Option.get slot.result) in
           Eval.set env var r;
           locked (fun () ->
@@ -712,98 +1109,249 @@ let drive_domains st (b : Prog.block) master_env =
                 slot.result <- None
               end;
               Condition.broadcast cv)
+    and exec_for ~var ~count ~body ~from =
+      for t = from to count - 1 do
+        Eval.set env var (float_of_int t);
+        List.iter exec body
+      done
     in
-    List.iter exec b.Prog.body;
-    env
+    let run_body () =
+      match restart with
+      | None -> Array.iter exec body_arr
+      | Some (k, start) ->
+          (* Resume: everything before the time loop already happened (its
+             effects live in the restored checkpoint); the loop itself
+             restarts at the checkpointed iteration + 1. *)
+          for i = k to Array.length body_arr - 1 do
+            match body_arr.(i) with
+            | Prog.For_time { var; count; body } when i = k ->
+                locked (fun () -> status.(sid).cur <- Some body_arr.(i));
+                exec_for ~var ~count ~body ~from:start
+            | instr -> exec instr
+          done
+    in
+    Fun.protect
+      ~finally:(fun () ->
+        (* Mark the shard finished in *all* exit paths (including a leaf
+           fault exhausting its retries) so the watchdog can still declare
+           the survivors deadlocked instead of reporting them running. *)
+        locked (fun () ->
+            status.(sid).finished <- true;
+            Condition.broadcast cv))
+      (fun () ->
+        run_body ();
+        env)
+  in
+  (* The watchdog trips when every live shard sits in a wait with an
+     unchanged progress counter for the full timeout. *)
+  let dog =
+    if watchdog <= 0. then None
+    else
+      let observe () =
+        Mutex.lock m;
+        let all_done = Array.for_all (fun s -> s.finished) status in
+        let quiescent =
+          Array.for_all (fun s -> s.finished || s.waiting <> None) status
+        in
+        let n = !progress in
+        Mutex.unlock m;
+        if all_done then `Done else if quiescent then `Quiescent n else `Running n
+      in
+      let trip () =
+        Mutex.lock m;
+        let shard_diags =
+          Array.to_list
+            (Array.mapi
+               (fun sid s ->
+                 if s.finished then
+                   {
+                     Resilience.Diag.sid;
+                     instr = None;
+                     wait = Resilience.Diag.Finished;
+                   }
+                 else
+                   {
+                     Resilience.Diag.sid;
+                     instr =
+                       Option.map
+                         (Format.asprintf "%a" Prog.pp_instr)
+                         s.cur;
+                     wait =
+                       (match s.waiting with
+                       | Some why -> why ()
+                       | None -> Resilience.Diag.Running);
+                   })
+               status)
+        in
+        tripped :=
+          Some
+            {
+              Resilience.Diag.reason =
+                Printf.sprintf
+                  "stall watchdog: no progress for %.2fs with every live \
+                   shard blocked"
+                  watchdog;
+              shards = shard_diags;
+              barrier_arrived = st.barrier.arrived;
+              barrier_generation = st.barrier.generation;
+            };
+        Condition.broadcast cv;
+        Mutex.unlock m
+      in
+      let poll = Float.max 0.002 (Float.min 0.05 (watchdog /. 5.)) in
+      Some (Resilience.Watchdog.start ~poll ~timeout:watchdog ~observe ~trip ())
   in
   let domains = Array.init shards (fun sid -> Domain.spawn (shard_main sid)) in
-  let envs = Array.map Domain.join domains in
+  let results =
+    Array.map
+      (fun d ->
+        match Domain.join d with
+        | env -> Ok env
+        | exception e -> Error (e, Printexc.get_raw_backtrace ()))
+      domains
+  in
+  Option.iter Resilience.Watchdog.stop dog;
+  (* Prefer a root-cause failure (e.g. a leaf fault past its retry cap)
+     over the consequential Deadlock the survivors raised. *)
+  let root_cause =
+    Array.fold_left
+      (fun acc r ->
+        match (acc, r) with
+        | Some _, _ | _, Ok _ -> acc
+        | None, Error ((Deadlock _, _) as e) -> Some e
+        | None, Error e -> Some e)
+      None results
+  in
+  let first_non_deadlock =
+    Array.fold_left
+      (fun acc r ->
+        match (acc, r) with
+        | Some _, _ | _, Ok _ -> acc
+        | None, Error (Deadlock _, _) -> None
+        | None, Error e -> Some e)
+      None results
+  in
+  (match (first_non_deadlock, root_cause) with
+  | Some (e, bt), _ -> Printexc.raise_with_backtrace e bt
+  | None, Some (e, bt) -> Printexc.raise_with_backtrace e bt
+  | None, None -> ());
   if shards > 0 then
-    List.iter (fun (k, v) -> Eval.set master_env k v) (Eval.bindings envs.(0))
+    match results.(0) with
+    | Ok env ->
+        List.iter (fun (k, v) -> Eval.set master_env k v) (Eval.bindings env)
+    | Error _ -> ()
 
-let run_block ?(sched = `Round_robin) ?stats ~source ctx (b : Prog.block) =
-  let st = create_state ?stats ~source ctx b in
-  (* Initialization runs sequentially, outside the shards (Fig. 4d). *)
-  List.iter
-    (function
-      | Prog.Copy c -> master_copy st c
-      | Prog.Fill { part; fields; op } ->
-          let p = Program.find_partition source part in
-          for color = 0 to Partition.color_count p - 1 do
-            let inst = instance st part color in
-            List.iter
-              (fun fld -> Physical.fill inst fld (Privilege.identity_of op))
-              fields
-          done
-      | instr ->
-          invalid_arg
-            (Format.asprintf "Spmd.Exec: unsupported init instruction %a"
-               Prog.pp_instr instr))
-    b.Prog.init;
-  (* Shard streams. *)
+let run_block ?(sched = `Round_robin) ?stats ?fault ?(watchdog = 60.)
+    ?checkpoint_sink ?restore ~source ctx (b : Prog.block) =
+  let st = create_state ?stats ?fault ?ckpt_sink:checkpoint_sink ~source ctx b in
   let master_env = Interp.Run.env ctx in
-  let drive_stepper rng =
-  let shards =
-    Array.init b.Prog.shards (fun sid ->
-        {
-          sid;
-          env = Eval.copy master_env;
-          frames = [ { instrs = Array.of_list b.Prog.body; idx = 0; loop = None } ];
-          wait = Ready;
-        })
-  in
-  let live () =
-    Array.to_list shards |> List.filter (fun s -> not (shard_done s))
-  in
-  let rr = ref 0 in
-  let rec drive () =
-    match live () with
-    | [] -> ()
-    | alive ->
-        (* Try shards starting from a scheduler-chosen point; if a full
-           sweep makes no progress, every live shard is blocked. *)
-        let order =
-          match rng with
-          | Some state ->
-              let arr = Array.of_list alive in
-              for i = Array.length arr - 1 downto 1 do
-                let j = Random.State.int state (i + 1) in
-                let t = arr.(i) in
-                arr.(i) <- arr.(j);
-                arr.(j) <- t
-              done;
-              Array.to_list arr
-          | None ->
-              let n = List.length alive in
-              let k = !rr mod n in
-              incr rr;
-              let arr = Array.of_list alive in
-              List.init n (fun i -> arr.((i + k) mod n))
-        in
-        let progressed =
-          List.exists
-            (fun s -> match step st s with `Progress | `Done -> true | `Blocked -> false)
-            order
-        in
-        if not progressed then
-          raise
-            (Deadlock
-               (Printf.sprintf "all %d live shards blocked" (List.length alive)));
-        drive ()
-  in
-  drive ();
-  (* Replicated scalar state is identical on all shards; fold it back. *)
-  match shards with
-  | [||] -> ()
-  | _ ->
+  (match restore with
+  | Some ck ->
+      (* Restart: the checkpoint replaces both the initialization copies
+         and everything the time loop did up to [ck.iter]. *)
+      restore_state st master_env ck
+  | None ->
+      (* Initialization runs sequentially, outside the shards (Fig. 4d). *)
       List.iter
-        (fun (k, v) -> Eval.set master_env k v)
-        (Eval.bindings shards.(0).env)
+        (function
+          | Prog.Copy c -> master_copy st c
+          | Prog.Fill { part; fields; op } ->
+              let p = Program.find_partition source part in
+              for color = 0 to Partition.color_count p - 1 do
+                let inst = instance st part color in
+                List.iter
+                  (fun fld -> Physical.fill inst fld (Privilege.identity_of op))
+                  fields
+              done
+          | instr ->
+              invalid_arg
+                (Format.asprintf "Spmd.Exec: unsupported init instruction %a"
+                   Prog.pp_instr instr))
+        b.Prog.init);
+  (* Shard streams. *)
+  let drive_stepper rng =
+    let start_idx, resume =
+      match restore with
+      | None -> (0, None)
+      | Some ck ->
+          let k, start = restart_point b ck in
+          (k, Some start)
+    in
+    let shards =
+      Array.init b.Prog.shards (fun sid ->
+          {
+            sid;
+            env = Eval.copy master_env;
+            frames =
+              [ { instrs = Array.of_list b.Prog.body; idx = start_idx; loop = None } ];
+            wait = Ready;
+            stall = 0;
+            fault_drawn = false;
+            resume;
+          })
+    in
+    let live () =
+      Array.to_list shards |> List.filter (fun s -> not (shard_done s))
+    in
+    let rr = ref 0 in
+    let rec drive () =
+      match live () with
+      | [] -> ()
+      | alive ->
+          (* Sweep the shards from a scheduler-chosen point. If a full sweep
+             makes no progress and no shard is merely serving an injected
+             delay, every live shard is blocked on runtime state that no
+             one can change: a deadlock, reported with per-shard
+             diagnostics. *)
+          let order =
+            match rng with
+            | Some state ->
+                let arr = Array.of_list alive in
+                for i = Array.length arr - 1 downto 1 do
+                  let j = Random.State.int state (i + 1) in
+                  let t = arr.(i) in
+                  arr.(i) <- arr.(j);
+                  arr.(j) <- t
+                done;
+                Array.to_list arr
+            | None ->
+                let n = List.length alive in
+                let k = !rr mod n in
+                incr rr;
+                let arr = Array.of_list alive in
+                List.init n (fun i -> arr.((i + k) mod n))
+          in
+          let progressed = ref false and stalled = ref false in
+          List.iter
+            (fun s ->
+              match step st s with
+              | `Progress | `Done -> progressed := true
+              | `Stalled -> stalled := true
+              | `Blocked -> ())
+            order;
+          if not !progressed && not !stalled then
+            raise
+              (Deadlock
+                 (diagnose st
+                    ~reason:
+                      (Printf.sprintf "all %d live shards blocked"
+                         (List.length alive))
+                    alive));
+          drive ()
+    in
+    drive ();
+    (* Replicated scalar state is identical on all shards; fold it back. *)
+    match shards with
+    | [||] -> ()
+    | _ ->
+        List.iter
+          (fun (k, v) -> Eval.set master_env k v)
+          (Eval.bindings shards.(0).env)
   in
   (match sched with
   | `Round_robin -> drive_stepper None
   | `Random seed -> drive_stepper (Some (Random.State.make [| seed |]))
-  | `Domains -> drive_domains st b master_env);
+  | `Domains -> drive_domains st b master_env ~watchdog ~restore);
   (* Finalization, sequential again. *)
   List.iter
     (function
@@ -814,9 +1362,18 @@ let run_block ?(sched = `Round_robin) ?stats ~source ctx (b : Prog.block) =
                Prog.pp_instr instr))
     b.Prog.finalize
 
-let run ?sched ?stats (t : Prog.t) ctx =
+let run ?sched ?stats ?fault ?watchdog ?checkpoint_sink ?restore (t : Prog.t)
+    ctx =
+  (* A restore resumes the program at its first replicated block: the
+     sequential prefix ran before the checkpoint was taken and its effects
+     (root instances, scalars) are part of the restored cut. *)
+  let restoring = ref (restore <> None) in
   List.iter
     (function
-      | Prog.Seq stmts -> Interp.Run.run_stmts ctx stmts
-      | Prog.Replicated b -> run_block ?sched ?stats ~source:t.Prog.source ctx b)
+      | Prog.Seq stmts -> if not !restoring then Interp.Run.run_stmts ctx stmts
+      | Prog.Replicated b ->
+          let restore = if !restoring then restore else None in
+          restoring := false;
+          run_block ?sched ?stats ?fault ?watchdog ?checkpoint_sink ?restore
+            ~source:t.Prog.source ctx b)
     t.Prog.items

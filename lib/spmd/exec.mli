@@ -7,15 +7,27 @@
     (§3.4), global barriers, and the dynamic collective for scalar
     reductions (§4.4) — is honoured exactly; a schedule in which every
     live shard is blocked raises {!Deadlock} (a control-replication bug by
-    definition, so tests assert it never happens).
+    definition, so tests assert it never happens) carrying structured
+    per-shard diagnostics: each shard's current instruction and what it is
+    waiting on (channel war/raw counters, barrier generation, collective
+    slot state).
 
     Execution is bitwise deterministic and equal to the sequential
     interpreter on the same inputs, for any schedule: plain copies never
     conflict (write-privileged partitions are disjoint), reduction copies
     are staged and applied in ascending source-color order, and the scalar
-    collective folds per-color results in color order. *)
+    collective folds per-color results in color order.
 
-exception Deadlock of string
+    Resilience (lib/resilience): a deterministic fault injector can be
+    armed with [?fault] — injected transient leaf-task failures are
+    retried with snapshot/rollback of the attempt's write set, injected
+    stalls delay shards without affecting results. The [`Domains] backend
+    runs a stall watchdog that turns a hang into {!Deadlock} with the same
+    structured diagnostics. [?checkpoint_sink] + [Prog.with_checkpoints]
+    serialize consistent cuts at time-loop boundaries; [?restore] resumes
+    a run from such a cut. *)
+
+exception Deadlock of Resilience.Diag.t
 
 type sched =
   [ `Round_robin  (** deterministic cooperative stepper *)
@@ -23,19 +35,58 @@ type sched =
   | `Domains
     (** one OCaml domain per shard with real mutex/condition-variable
         synchronisation — true parallel execution of the SPMD program.
-        Use moderate shard counts (≲ 16); deadlock detection does not
-        apply (a sync bug hangs instead). *) ]
+        Use moderate shard counts (≲ 16); a sync bug is caught by the
+        stall watchdog, which raises {!Deadlock} after [?watchdog]
+        seconds without progress. *) ]
+
+type stats = {
+  isect : Intersections.stats;  (** dynamic intersection timings (§3.3) *)
+  attempts : int Atomic.t;  (** leaf-task attempts (retries included) *)
+  retries : int Atomic.t;  (** rollback re-executions after injected faults *)
+  injected : int Atomic.t;  (** faults fired (all sites) *)
+  checkpoints : int Atomic.t;  (** checkpoints taken *)
+}
+
+val fresh_stats : unit -> stats
 
 val run :
-  ?sched:sched -> ?stats:Intersections.stats -> Prog.t ->
-  Interp.Run.context -> unit
+  ?sched:sched ->
+  ?stats:stats ->
+  ?fault:Resilience.Fault.t ->
+  ?watchdog:float ->
+  ?checkpoint_sink:(Resilience.Checkpoint.t -> unit) ->
+  ?restore:Resilience.Checkpoint.t ->
+  Prog.t ->
+  Interp.Run.context ->
+  unit
 (** Executes the whole compiled program against the context: [Seq] items via
     the sequential interpreter, [Replicated] blocks with the SPMD machinery
     (instances per (partition, color), dynamic intersections, shard
     streams). Root-region instances and scalars in the context hold the
-    results afterwards. *)
+    results afterwards.
+
+    [watchdog] (seconds, default 60., [`Domains] only; [<= 0.] disables)
+    bounds how long the run may sit with every shard blocked and no
+    progress before raising {!Deadlock}.
+
+    [checkpoint_sink] receives each checkpoint a [Prog.Checkpoint]
+    instruction takes (see {!Prog.with_checkpoints}); without a sink the
+    instruction is a no-op.
+
+    [restore] resumes the program's first replicated block from a
+    checkpoint: the sequential prefix and the block's initialization are
+    skipped (their effects are part of the restored cut) and the block's
+    time loop resumes at [restore.iter + 1]. *)
 
 val run_block :
-  ?sched:sched -> ?stats:Intersections.stats -> source:Ir.Program.t ->
-  Interp.Run.context -> Prog.block -> unit
+  ?sched:sched ->
+  ?stats:stats ->
+  ?fault:Resilience.Fault.t ->
+  ?watchdog:float ->
+  ?checkpoint_sink:(Resilience.Checkpoint.t -> unit) ->
+  ?restore:Resilience.Checkpoint.t ->
+  source:Ir.Program.t ->
+  Interp.Run.context ->
+  Prog.block ->
+  unit
 (** Run a single replicated block (exposed for tests). *)

@@ -52,6 +52,11 @@ type instr =
          before the launch that reduces into it (§4.3) *)
   | Assign of string * Ir.Types.sexpr (* replicated scalar state *)
   | For_time of { var : string; count : int; body : instr list }
+  | Checkpoint of { var : string; every : int }
+      (* resilience: when [(var + 1) mod every = 0], quiesce all shards on
+         a dedicated barrier and serialize the block's state (instances +
+         replicated scalars) at this time-loop boundary; a no-op when the
+         executor has no checkpoint sink configured *)
 
 (* One control-replicated block. [init]/[finalize] run sequentially outside
    the shards. *)
@@ -93,6 +98,44 @@ let colors_of_shard ~shards ~colors s =
   | None -> []
   | Some (lo, hi) -> List.init (hi - lo + 1) (fun k -> lo + k)
 
+(* ---------- resilience instrumentation ---------- *)
+
+(* Index of the first top-level [For_time] of the body — the loop
+   checkpoints attach to and restarts resume into. *)
+let first_time_loop b =
+  let rec go k = function
+    | [] -> None
+    | For_time _ :: _ -> Some k
+    | _ :: rest -> go (k + 1) rest
+  in
+  go 0 b.body
+
+let with_checkpoints ~every b =
+  if every < 1 then invalid_arg "Prog.with_checkpoints: every < 1";
+  match first_time_loop b with
+  | None -> b
+  | Some k ->
+      let body =
+        List.mapi
+          (fun i instr ->
+            match instr with
+            | For_time { var; count; body } when i = k ->
+                For_time
+                  { var; count; body = body @ [ Checkpoint { var; every } ] }
+            | _ -> instr)
+          b.body
+      in
+      { b with body }
+
+let map_blocks f t =
+  {
+    t with
+    items =
+      List.map
+        (function Replicated b -> Replicated (f b) | Seq _ as s -> s)
+        t.items;
+  }
+
 (* ---------- pretty printing (golden tests, crc inspect) ---------- *)
 
 let pp_operand ppf = function
@@ -132,6 +175,8 @@ let rec pp_instr ppf = function
         fields
         (Privilege.redop_to_string op)
   | Assign (v, e) -> Format.fprintf ppf "%s = %a" v Ir.Pretty.pp_sexpr e
+  | Checkpoint { var; every } ->
+      Format.fprintf ppf "checkpoint every %d of %s" every var
   | For_time { var; count; body } ->
       Format.fprintf ppf "@[<v 2>for %s = 0, %d do@,%a@]@,end" var count
         pp_instrs body

@@ -9,6 +9,7 @@ type t = {
   queue : job Queue.t;
   lock : Mutex.t;
   nonempty : Condition.t;
+  drained : Condition.t; (* signalled once the stopping->stopped edge is done *)
   mutable stopping : bool;
   mutable stopped : bool;
   size : int;
@@ -56,6 +57,7 @@ let create ?domains () =
       queue = Queue.create ();
       lock = Mutex.create ();
       nonempty = Condition.create ();
+      drained = Condition.create ();
       stopping = false;
       stopped = false;
       size = n;
@@ -74,19 +76,36 @@ let submit t job =
   Condition.signal t.nonempty;
   Mutex.unlock t.lock
 
+(* The stopping->stopped transition is claimed atomically under [t.lock]:
+   exactly one caller takes the worker list (emptying it in the same
+   critical section, so a racing shutdown can never double-join a
+   domain); late callers block until the winner signals [drained]. *)
 let shutdown t =
   Mutex.lock t.lock;
   if t.stopped then Mutex.unlock t.lock
+  else if t.stopping then begin
+    while not t.stopped do
+      Condition.wait t.drained t.lock
+    done;
+    Mutex.unlock t.lock
+  end
   else begin
     t.stopping <- true;
+    let workers = t.workers in
+    t.workers <- [];
     Condition.broadcast t.nonempty;
     Mutex.unlock t.lock;
-    List.iter Domain.join t.workers;
+    List.iter Domain.join workers;
+    Mutex.lock t.lock;
     t.stopped <- true;
-    t.workers <- []
+    Condition.broadcast t.drained;
+    Mutex.unlock t.lock
   end
 
-type 'a state = Pending | Done of 'a | Failed of exn
+(* Failures carry the backtrace captured at the raise site in the worker
+   domain, so [await] can re-raise without erasing where the task
+   actually died. *)
+type 'a state = Pending | Done of 'a | Failed of exn * Printexc.raw_backtrace
 
 type 'a future = {
   mutable state : 'a state;
@@ -97,7 +116,10 @@ type 'a future = {
 let async t f =
   let fut = { state = Pending; flock = Mutex.create (); fdone = Condition.create () } in
   submit t (fun () ->
-      let result = try Done (f ()) with e -> Failed e in
+      let result =
+        try Done (f ())
+        with e -> Failed (e, Printexc.get_raw_backtrace ())
+      in
       Mutex.lock fut.flock;
       fut.state <- result;
       Condition.broadcast fut.fdone;
@@ -114,9 +136,9 @@ let await fut =
     | Done v ->
         Mutex.unlock fut.flock;
         v
-    | Failed e ->
+    | Failed (e, bt) ->
         Mutex.unlock fut.flock;
-        raise e
+        Printexc.raise_with_backtrace e bt
   in
   wait ()
 
@@ -150,9 +172,13 @@ let parallel_for t ~lo ~hi f =
         | None -> ()
         | Some fut -> (
             try await fut
-            with e -> if !first_exn = None then first_exn := Some e))
+            with e ->
+              let bt = Printexc.get_raw_backtrace () in
+              if !first_exn = None then first_exn := Some (e, bt)))
       futures;
-    match !first_exn with None -> () | Some e -> raise e
+    match !first_exn with
+    | None -> ()
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
   end
 
 let parallel_map_array t f a =

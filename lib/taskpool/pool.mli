@@ -25,7 +25,8 @@ type 'a future
 
 val async : t -> (unit -> 'a) -> 'a future
 val await : 'a future -> 'a
-(** Re-raises any exception the task raised. *)
+(** Re-raises any exception the task raised, preserving the backtrace
+    captured at the raise site in the worker domain. *)
 
 val parallel_for : t -> lo:int -> hi:int -> (int -> unit) -> unit
 (** [parallel_for p ~lo ~hi f] runs [f i] for [lo <= i <= hi] (inclusive),

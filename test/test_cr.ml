@@ -141,12 +141,13 @@ let test_fig2_intersections_nonempty () =
   let prog = Test_fixtures.Fixtures.fig2 () in
   let compiled = Cr.Pipeline.compile (Cr.Pipeline.default ~shards:4) prog in
   let ctx = Interp.Run.create compiled.Spmd.Prog.source in
-  let stats = Spmd.Intersections.fresh_stats () in
+  let stats = Spmd.Exec.fresh_stats () in
   Spmd.Exec.run ~stats compiled ctx;
   check Alcotest.bool "some non-empty intersections" true
-    (stats.Spmd.Intersections.nonempty > 0);
+    (stats.Spmd.Exec.isect.Spmd.Intersections.nonempty > 0);
   check Alcotest.bool "shallow phase pruned or kept pairs" true
-    (stats.Spmd.Intersections.candidates >= stats.Spmd.Intersections.nonempty)
+    (stats.Spmd.Exec.isect.Spmd.Intersections.candidates
+    >= stats.Spmd.Exec.isect.Spmd.Intersections.nonempty)
 
 (* The dead/redundant copy elimination: write the same partition twice with
    no reads of the aliased reader in between — placement must drop the first

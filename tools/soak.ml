@@ -38,9 +38,10 @@ let () =
           (fun sched ->
             let ctx2 = Interp.Run.create compiled.Spmd.Prog.source in
             (try Spmd.Exec.run ~sched compiled ctx2
-             with Spmd.Exec.Deadlock m ->
+             with Spmd.Exec.Deadlock d ->
                incr bad;
-               Printf.printf "DEADLOCK seed=%d shards=%d: %s\n%!" seed shards m);
+               Printf.printf "DEADLOCK seed=%d shards=%d: %s\n%!" seed shards
+                 (Resilience.Diag.to_string d));
             let b = region_data ctx2 prog2 in
             let sb =
               List.map
