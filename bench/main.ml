@@ -26,32 +26,83 @@ let table1_nodes = if fast then [ 16; 64 ] else [ 64; 1024 ]
 
 let header title = Printf.printf "\n=== %s ===\n%!" title
 
+(* Machine-readable results, accumulated as sections run and written to
+   BENCH_pr2.json at the end (schema "crc-bench/1"). *)
+let registry = Obs.Metrics.create ()
+let json_figures : Obs.Json.t list ref = ref []
+let json_table1 : Obs.Json.t list ref = ref []
+let json_ablations : Obs.Json.t ref = ref Obs.Json.Null
+let json_resilience : Obs.Json.t list ref = ref []
+
 (* ---------- weak scaling sweeps (Figures 6-9) ---------- *)
 
 type variant = { vname : string; per_step : int -> float }
 
-let print_figure ~title ~unit_ ~elements_per_node variants =
+let print_figure ~name ~title ~unit_ ~elements_per_node variants =
   header title;
   Printf.printf "%6s" "nodes";
   List.iter (fun v -> Printf.printf " %14s" v.vname) variants;
   Printf.printf "   (%s per node)\n" unit_;
-  let singles = List.map (fun v -> v.per_step 1) variants in
+  (* One simulation per (node count, variant): the matrix feeds the printed
+     table, the efficiency row and the JSON series. *)
+  let matrix =
+    List.map (fun n -> (n, List.map (fun v -> v.per_step n) variants)) node_counts
+  in
   List.iter
-    (fun n ->
+    (fun (n, row) ->
       Printf.printf "%6d" n;
-      List.iter
-        (fun v -> Printf.printf " %14.1f" (elements_per_node /. v.per_step n))
-        variants;
+      List.iter (fun ps -> Printf.printf " %14.1f" (elements_per_node /. ps)) row;
       Printf.printf "\n%!")
-    node_counts;
+    matrix;
   (* Parallel efficiency at the largest sweep point, as the paper quotes. *)
-  let last = List.fold_left max 1 node_counts in
+  let singles = snd (List.hd matrix) in
+  let last, last_row = List.hd (List.rev matrix) in
   Printf.printf "%6s" "eff%";
   List.iter2
-    (fun v single ->
-      Printf.printf " %14.1f" (100. *. single /. v.per_step last))
-    variants singles;
-  Printf.printf "   (at %d nodes)\n%!" last
+    (fun single at_last -> Printf.printf " %14.1f" (100. *. single /. at_last))
+    singles last_row;
+  Printf.printf "   (at %d nodes)\n%!" last;
+  let series =
+    List.mapi
+      (fun i v ->
+        let eff =
+          100. *. List.nth singles i /. List.nth last_row i
+        in
+        Obs.Metrics.set registry
+          (Printf.sprintf "bench.%s.%s.eff_pct" name v.vname)
+          eff;
+        Obs.Json.Obj
+          [
+            ("name", Obs.Json.Str v.vname);
+            ("efficiency_pct", Obs.Json.Float eff);
+            ( "points",
+              Obs.Json.List
+                (List.map
+                   (fun (n, row) ->
+                     let ps = List.nth row i in
+                     Obs.Json.Obj
+                       [
+                         ("nodes", Obs.Json.Int n);
+                         ("per_step_s", Obs.Json.Float ps);
+                         ( "throughput_per_node",
+                           Obs.Json.Float (elements_per_node /. ps) );
+                       ])
+                   matrix) );
+          ])
+      variants
+  in
+  json_figures :=
+    !json_figures
+    @ [
+        Obs.Json.Obj
+          [
+            ("name", Obs.Json.Str name);
+            ("title", Obs.Json.Str title);
+            ("unit", Obs.Json.Str unit_);
+            ("elements_per_node", Obs.Json.Float elements_per_node);
+            ("series", Obs.Json.List series);
+          ];
+      ]
 
 let cr_per_step ~mk_program ~mk_scale ?task_noise () n =
   let machine = Realm.Machine.make ~nodes:n ?task_noise () in
@@ -75,7 +126,7 @@ let fig6 () =
       (Apps.Stencil.default ~nodes:n)
       variant
   in
-  print_figure ~title:"Figure 6: Stencil weak scaling" ~unit_:"10^6 points/s"
+  print_figure ~name:"fig6" ~title:"Figure 6: Stencil weak scaling" ~unit_:"10^6 points/s"
     ~elements_per_node:
       (float_of_int (Apps.Stencil.default ~nodes:1).Apps.Stencil.points_per_node
       /. 1e6)
@@ -101,7 +152,7 @@ let fig7 () =
       (Apps.Miniaero.default ~nodes:n)
       variant
   in
-  print_figure ~title:"Figure 7: MiniAero weak scaling" ~unit_:"10^3 cells/s"
+  print_figure ~name:"fig7" ~title:"Figure 7: MiniAero weak scaling" ~unit_:"10^3 cells/s"
     ~elements_per_node:(float_of_int cells_per_node /. 1e3)
     [
       { vname = "Regent+CR"; per_step = cr_per_step ~mk_program ~mk_scale () };
@@ -129,7 +180,7 @@ let fig8 () =
       (Apps.Pennant.default ~nodes:n)
       variant
   in
-  print_figure ~title:"Figure 8: PENNANT weak scaling" ~unit_:"10^6 zones/s"
+  print_figure ~name:"fig8" ~title:"Figure 8: PENNANT weak scaling" ~unit_:"10^6 zones/s"
     ~elements_per_node:(float_of_int zones_per_node /. 1e6)
     [
       {
@@ -154,7 +205,7 @@ let fig9 () =
   let cnodes_per_node =
     full.Apps.Circuit.pieces_per_node * full.Apps.Circuit.cnodes_per_piece
   in
-  print_figure ~title:"Figure 9: Circuit weak scaling"
+  print_figure ~name:"fig9" ~title:"Figure 9: Circuit weak scaling"
     ~unit_:"10^3 circuit nodes/s"
     ~elements_per_node:(float_of_int cnodes_per_node /. 1e3)
     [
@@ -213,7 +264,25 @@ let table1 () =
             (stats.Spmd.Intersections.shallow_s *. 1e3)
             (stats.Spmd.Intersections.complete_s *. 1e3)
             stats.Spmd.Intersections.candidates
-            stats.Spmd.Intersections.nonempty)
+            stats.Spmd.Intersections.nonempty;
+          json_table1 :=
+            !json_table1
+            @ [
+                Obs.Json.Obj
+                  [
+                    ("app", Obs.Json.Str name);
+                    ("nodes", Obs.Json.Int n);
+                    ( "shallow_ms",
+                      Obs.Json.Float (stats.Spmd.Intersections.shallow_s *. 1e3)
+                    );
+                    ( "complete_ms",
+                      Obs.Json.Float (stats.Spmd.Intersections.complete_s *. 1e3)
+                    );
+                    ( "candidates",
+                      Obs.Json.Int stats.Spmd.Intersections.candidates );
+                    ("nonempty", Obs.Json.Int stats.Spmd.Intersections.nonempty);
+                  ];
+              ])
         table1_nodes)
     apps
 
@@ -329,17 +398,33 @@ let ablations () =
   in
   Printf.printf "%10s %12s %12s %12s %12s %12s\n" "app" "default" "barriers"
     "all-pairs" "no-placemt" "flat-tree";
+  let json_per_step = ref [] in
   List.iter
     (fun (name, mk, scale) ->
       let d = Cr.Pipeline.default ~shards:n in
       let run config =
         (simulate_with config ~scale n (mk ())).Legion.Sim_spmd.per_step
       in
-      Printf.printf "%10s %12.4f %12.4f %12.4f %12.4f %12.4f\n%!" name (run d)
-        (run { d with Cr.Pipeline.sync = `Barrier })
-        (run { d with Cr.Pipeline.intersections = `Dense })
-        (run { d with Cr.Pipeline.placement = false })
-        (run { d with Cr.Pipeline.hierarchical = false }))
+      let vd = run d in
+      let vbar = run { d with Cr.Pipeline.sync = `Barrier } in
+      let vdense = run { d with Cr.Pipeline.intersections = `Dense } in
+      let vnoplace = run { d with Cr.Pipeline.placement = false } in
+      let vflat = run { d with Cr.Pipeline.hierarchical = false } in
+      Printf.printf "%10s %12.4f %12.4f %12.4f %12.4f %12.4f\n%!" name vd vbar
+        vdense vnoplace vflat;
+      json_per_step :=
+        !json_per_step
+        @ [
+            Obs.Json.Obj
+              [
+                ("app", Obs.Json.Str name);
+                ("default", Obs.Json.Float vd);
+                ("barriers", Obs.Json.Float vbar);
+                ("all_pairs", Obs.Json.Float vdense);
+                ("no_placement", Obs.Json.Float vnoplace);
+                ("flat_tree", Obs.Json.Float vflat);
+              ];
+          ])
     cases;
   (* The §4.5 benefit is in the dynamic analysis, not the executed copies:
      a flat tree cannot prove the private partitions disjoint from the
@@ -351,6 +436,7 @@ let ablations () =
     "analysis(ms)";
   Printf.printf "%10s | %36s | %36s\n" "" "hierarchical (default)"
     "flat tree (no §4.5)";
+  let json_analysis = ref [] in
   List.iter
     (fun (name, mk, _scale) ->
       let d = Cr.Pipeline.default ~shards:n in
@@ -365,7 +451,25 @@ let ablations () =
       and cand (_, c, _) = c
       and sets (_, _, s) = s in
       Printf.printf "%10s | %10d %10d %12.2f | %10d %10d %12.2f\n%!" name
-        (sets h) (cand h) (ms h) (sets f) (cand f) (ms f))
+        (sets h) (cand h) (ms h) (sets f) (cand f) (ms f);
+      let side v =
+        Obs.Json.Obj
+          [
+            ("pairsets", Obs.Json.Int (sets v));
+            ("candidates", Obs.Json.Int (cand v));
+            ("analysis_ms", Obs.Json.Float (ms v));
+          ]
+      in
+      json_analysis :=
+        !json_analysis
+        @ [
+            Obs.Json.Obj
+              [
+                ("app", Obs.Json.Str name);
+                ("hierarchical", side h);
+                ("flat_tree", side f);
+              ];
+          ])
     cases;
   (* §3.2 copy placement: the four applications write each partition once
      per aliased-reader use, so placement is already optimal there (as the
@@ -388,10 +492,24 @@ let ablations () =
       0 compiled.Spmd.Prog.items
   in
   let d = Cr.Pipeline.default ~shards:n in
+  let with_p = copies d
+  and without_p = copies { d with Cr.Pipeline.placement = false } in
   Printf.printf
     "\nplacement ablation (3-phase update chain): %d copy statements per step with placement, %d without\n%!"
-    (copies d)
-    (copies { d with Cr.Pipeline.placement = false })
+    with_p without_p;
+  json_ablations :=
+    Obs.Json.Obj
+      [
+        ("nodes", Obs.Json.Int n);
+        ("per_step_s", Obs.Json.List !json_per_step);
+        ("intersection_analysis", Obs.Json.List !json_analysis);
+        ( "placement_chain",
+          Obs.Json.Obj
+            [
+              ("with_placement_copies", Obs.Json.Int with_p);
+              ("without_placement_copies", Obs.Json.Int without_p);
+            ] );
+      ]
 
 (* ---------- resilience overhead ---------- *)
 
@@ -435,7 +553,15 @@ let resilience_overhead () =
     }
   in
   List.iter
-    (fun (name, f) -> Printf.printf "%30s %10.3f ms/run\n%!" name (time f))
+    (fun (name, f) ->
+      let ms = time f in
+      Printf.printf "%30s %10.3f ms/run\n%!" name ms;
+      json_resilience :=
+        !json_resilience
+        @ [
+            Obs.Json.Obj
+              [ ("case", Obs.Json.Str name); ("ms_per_run", Obs.Json.Float ms) ];
+          ])
     [
       ("baseline", fun () -> run ());
       ( "armed, zero rates (snapshots)",
@@ -503,6 +629,31 @@ let bechamel_suite () =
   in
   benchmark (Test.make_grouped ~name:"bench" tests)
 
+(* ---------- machine-readable artifact ---------- *)
+
+let json_path = "BENCH_pr2.json"
+
+let write_json () =
+  let j =
+    Obs.Json.Obj
+      [
+        ("schema", Obs.Json.Str "crc-bench/1");
+        ("fast", Obs.Json.Bool fast);
+        ( "node_counts",
+          Obs.Json.List (List.map (fun n -> Obs.Json.Int n) node_counts) );
+        ("figures", Obs.Json.List !json_figures);
+        ("table1", Obs.Json.List !json_table1);
+        ("ablations", !json_ablations);
+        ("resilience_overhead", Obs.Json.List !json_resilience);
+        ("metrics", Obs.Metrics.to_json registry);
+      ]
+  in
+  let oc = open_out json_path in
+  Obs.Json.to_channel ~indent:2 oc j;
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "\nwrote %s\n" json_path
+
 let () =
   fig6 ();
   fig7 ();
@@ -512,4 +663,5 @@ let () =
   ablations ();
   resilience_overhead ();
   if not no_bechamel then bechamel_suite ();
+  write_json ();
   Printf.printf "\nAll experiments complete.\n"

@@ -46,6 +46,64 @@ let shards_arg =
     & opt (some int) None
     & info [ "shards" ] ~docv:"S" ~doc:"Shard count (defaults to nodes).")
 
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write a Chrome trace-event JSON file covering the command \
+           (compile-pipeline phases and execution on the wall clock, \
+           simulated-machine timelines with a marked critical path on the \
+           virtual clock). Load it at https://ui.perfetto.dev or \
+           chrome://tracing.")
+
+let metrics_arg =
+  Arg.(
+    value & flag
+    & info [ "metrics" ]
+        ~doc:
+          "Print the metrics registry (counters and gauges) as a text dump \
+           when the command finishes.")
+
+(* Observability plumbing shared by run/simulate/sweep: a memory trace only
+   when --trace asked for one (the null sink costs a branch per event
+   otherwise), a fresh registry either way. *)
+let obs_setup trace_path =
+  let trace =
+    match trace_path with
+    | None -> Obs.Trace.null
+    | Some _ -> Obs.Trace.memory ()
+  in
+  (trace, Obs.Metrics.create ())
+
+let obs_finish ~trace_path ~metrics trace registry =
+  (match trace_path with
+  | None -> ()
+  | Some path ->
+      Obs.Trace.set_process_name trace ~pid:Obs.Trace.wall_pid
+        "crc (wall clock)";
+      Obs.Trace.set_process_name trace ~pid:Obs.Trace.virtual_pid
+        "simulated machine (virtual time)";
+      Obs.Trace.write_chrome_file trace path;
+      Printf.printf "trace: %d events written to %s\n"
+        (List.length (Obs.Trace.events trace))
+        path);
+  if metrics then print_string (Obs.Metrics.to_string registry)
+
+(* Registry entries for one simulator result. *)
+let record_sim_metrics registry ~prefix ~per_step ~total ~tasks_run
+    ~bytes_moved ~copies_run timeline =
+  let set k v = Obs.Metrics.set registry (prefix ^ "." ^ k) v in
+  set "per_step_s" per_step;
+  set "total_s" total;
+  set "makespan_s" (Realm.Timeline.makespan timeline);
+  set "critical_path_ops"
+    (float_of_int (List.length (Realm.Timeline.critical_path timeline)));
+  set "tasks_run" (float_of_int tasks_run);
+  set "bytes_moved" bytes_moved;
+  Option.iter (fun c -> set "copies_run" (float_of_int c)) copies_run
+
 (* Small (functional) and simulator-scale program constructors. *)
 let test_program app nodes =
   match app with
@@ -114,15 +172,17 @@ let inspect app nodes shards stages =
 
 (* ---------- run ---------- *)
 
-let run app nodes shards seed =
+let run app nodes shards seed trace_path metrics =
   let shards = Option.value ~default:nodes shards in
+  let trace, registry = obs_setup trace_path in
   let p1 = test_program app nodes in
   let seq = Interp.Run.create p1 in
   Interp.Run.run seq;
   let p2 = test_program app nodes in
-  let compiled = Cr.Pipeline.compile (Cr.Pipeline.default ~shards) p2 in
+  let compiled = Cr.Pipeline.compile ~trace (Cr.Pipeline.default ~shards) p2 in
   let spmd = Interp.Run.create compiled.Spmd.Prog.source in
-  Spmd.Exec.run ~sched:(`Random seed) compiled spmd;
+  let stats = Spmd.Exec.fresh_stats ~registry () in
+  Spmd.Exec.run ~sched:(`Random seed) ~stats ~trace compiled spmd;
   let data ctx prog =
     List.concat_map
       (fun rname ->
@@ -147,21 +207,46 @@ let run app nodes shards seed =
         (Interp.Run.scalar spmd "dt")
   | Stencil ->
       Printf.printf "checksum: %.3f\n" (Apps.Stencil.interior_checksum spmd p2));
+  obs_finish ~trace_path ~metrics trace registry;
   if not equal then exit 1
 
 (* ---------- simulate ---------- *)
 
-let simulate app nodes no_cr =
+let simulate app nodes no_cr trace_path metrics =
+  let trace, registry = obs_setup trace_path in
   let prog, scale, noise = sim_program app nodes in
   let machine = Realm.Machine.make ~nodes ~task_noise:noise () in
+  let cores = Realm.Machine.compute_cores machine in
   let per_step =
-    if no_cr then
-      (Legion.Sim_implicit.simulate ~machine ~scale ~steps:8 prog)
-        .Legion.Sim_implicit.per_step
-    else
-      let compiled = Cr.Pipeline.compile (Cr.Pipeline.default ~shards:nodes) prog in
-      (Legion.Sim_spmd.simulate ~machine ~scale ~steps:8 compiled)
-        .Legion.Sim_spmd.per_step
+    if no_cr then begin
+      let r = Legion.Sim_implicit.simulate ~machine ~scale ~steps:8 ~trace prog in
+      Realm.Timeline.emit
+        ~track_names:(Legion.Sim_implicit.track_names ~nodes ~cores)
+        r.Legion.Sim_implicit.timeline trace;
+      record_sim_metrics registry ~prefix:"sim.implicit"
+        ~per_step:r.Legion.Sim_implicit.per_step
+        ~total:r.Legion.Sim_implicit.total
+        ~tasks_run:r.Legion.Sim_implicit.tasks_run
+        ~bytes_moved:r.Legion.Sim_implicit.bytes_moved ~copies_run:None
+        r.Legion.Sim_implicit.timeline;
+      r.Legion.Sim_implicit.per_step
+    end
+    else begin
+      let compiled =
+        Cr.Pipeline.compile ~trace (Cr.Pipeline.default ~shards:nodes) prog
+      in
+      let r = Legion.Sim_spmd.simulate ~machine ~scale ~steps:8 ~trace compiled in
+      Realm.Timeline.emit
+        ~track_names:(Legion.Sim_spmd.track_names ~shards:nodes ~cores)
+        r.Legion.Sim_spmd.timeline trace;
+      record_sim_metrics registry ~prefix:"sim.spmd"
+        ~per_step:r.Legion.Sim_spmd.per_step ~total:r.Legion.Sim_spmd.total
+        ~tasks_run:r.Legion.Sim_spmd.tasks_run
+        ~bytes_moved:r.Legion.Sim_spmd.bytes_moved
+        ~copies_run:(Some r.Legion.Sim_spmd.copies_run)
+        r.Legion.Sim_spmd.timeline;
+      r.Legion.Sim_spmd.per_step
+    end
   in
   let elems, unit_ = elements_per_node app in
   Printf.printf "%s on %d nodes (%s): %.4f s/step, %.1f %s/s per node\n"
@@ -170,11 +255,13 @@ let simulate app nodes no_cr =
     (match app with
     | Stencil -> "paper-scale instance"
     | _ -> "reduced instance, scaled costs")
-    per_step (elems /. per_step) unit_
+    per_step (elems /. per_step) unit_;
+  obs_finish ~trace_path ~metrics trace registry
 
 (* ---------- sweep ---------- *)
 
-let sweep app =
+let sweep app trace_path metrics =
+  let trace, registry = obs_setup trace_path in
   let elems, unit_ = elements_per_node app in
   Printf.printf "%6s %14s %14s   (%s/s per node)\n" "nodes" "Regent+CR"
     "Regent-noCR" unit_;
@@ -182,17 +269,45 @@ let sweep app =
     (fun n ->
       let prog, scale, noise = sim_program app n in
       let machine = Realm.Machine.make ~nodes:n ~task_noise:noise () in
-      let cr =
-        (Legion.Sim_spmd.simulate ~machine ~scale ~steps:8
-           (Cr.Pipeline.compile (Cr.Pipeline.default ~shards:n) prog))
-          .Legion.Sim_spmd.per_step
+      let cores = Realm.Machine.compute_cores machine in
+      let rcr =
+        Legion.Sim_spmd.simulate ~machine ~scale ~steps:8 ~trace
+          (Cr.Pipeline.compile ~trace (Cr.Pipeline.default ~shards:n) prog)
       in
-      let nocr =
-        (Legion.Sim_implicit.simulate ~machine ~scale ~steps:6 prog)
-          .Legion.Sim_implicit.per_step
-      in
-      Printf.printf "%6d %14.1f %14.1f\n%!" n (elems /. cr) (elems /. nocr))
-    [ 1; 2; 4; 8; 16; 32; 64; 128 ]
+      let rnocr = Legion.Sim_implicit.simulate ~machine ~scale ~steps:6 ~trace prog in
+      if Obs.Trace.enabled trace then begin
+        (* Each machine size gets its own pair of virtual-time processes so
+           the series don't overlap in the viewer. *)
+        let pid_cr = 1000 + n and pid_nocr = 2000 + n in
+        Obs.Trace.set_process_name trace ~pid:pid_cr
+          (Printf.sprintf "sweep n=%d (CR, virtual time)" n);
+        Obs.Trace.set_process_name trace ~pid:pid_nocr
+          (Printf.sprintf "sweep n=%d (no CR, virtual time)" n);
+        Realm.Timeline.emit ~pid:pid_cr
+          ~track_names:(Legion.Sim_spmd.track_names ~shards:n ~cores)
+          rcr.Legion.Sim_spmd.timeline trace;
+        Realm.Timeline.emit ~pid:pid_nocr
+          ~track_names:(Legion.Sim_implicit.track_names ~nodes:n ~cores)
+          rnocr.Legion.Sim_implicit.timeline trace
+      end;
+      let prefix kind = Printf.sprintf "sweep.n%03d.%s" n kind in
+      record_sim_metrics registry ~prefix:(prefix "cr")
+        ~per_step:rcr.Legion.Sim_spmd.per_step ~total:rcr.Legion.Sim_spmd.total
+        ~tasks_run:rcr.Legion.Sim_spmd.tasks_run
+        ~bytes_moved:rcr.Legion.Sim_spmd.bytes_moved
+        ~copies_run:(Some rcr.Legion.Sim_spmd.copies_run)
+        rcr.Legion.Sim_spmd.timeline;
+      record_sim_metrics registry ~prefix:(prefix "nocr")
+        ~per_step:rnocr.Legion.Sim_implicit.per_step
+        ~total:rnocr.Legion.Sim_implicit.total
+        ~tasks_run:rnocr.Legion.Sim_implicit.tasks_run
+        ~bytes_moved:rnocr.Legion.Sim_implicit.bytes_moved ~copies_run:None
+        rnocr.Legion.Sim_implicit.timeline;
+      Printf.printf "%6d %14.1f %14.1f\n%!" n
+        (elems /. rcr.Legion.Sim_spmd.per_step)
+        (elems /. rnocr.Legion.Sim_implicit.per_step))
+    [ 1; 2; 4; 8; 16; 32; 64; 128 ];
+  obs_finish ~trace_path ~metrics trace registry
 
 (* ---------- table1 ---------- *)
 
@@ -246,7 +361,9 @@ let run_cmd =
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Execute functionally and compare to sequential.")
-    Term.(const run $ app_arg $ nodes_arg $ shards_arg $ seed)
+    Term.(
+      const run $ app_arg $ nodes_arg $ shards_arg $ seed $ trace_arg
+      $ metrics_arg)
 
 let simulate_cmd =
   let no_cr =
@@ -254,12 +371,13 @@ let simulate_cmd =
   in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Per-timestep cost on the simulated machine.")
-    Term.(const simulate $ app_arg $ nodes_arg $ no_cr)
+    Term.(
+      const simulate $ app_arg $ nodes_arg $ no_cr $ trace_arg $ metrics_arg)
 
 let sweep_cmd =
   Cmd.v
     (Cmd.info "sweep" ~doc:"Weak-scaling series (Figures 6-9 shape).")
-    Term.(const sweep $ app_arg)
+    Term.(const sweep $ app_arg $ trace_arg $ metrics_arg)
 
 let table1_cmd =
   Cmd.v

@@ -128,12 +128,62 @@ type staged = {
   synced : Spmd.Prog.instr list;
 }
 
+(* Tid for the compile pipeline's wall-clock phase spans. *)
+let pipeline_tid = 1000
+
+let rec count_copies instrs =
+  List.fold_left
+    (fun n i ->
+      n
+      +
+      match i with
+      | Spmd.Prog.Copy _ -> 1
+      | Spmd.Prog.For_time { body; _ } -> count_copies body
+      | _ -> 0)
+    0 instrs
+
+let rec count_sync_ops instrs =
+  List.fold_left
+    (fun n i ->
+      n
+      +
+      match i with
+      | Spmd.Prog.Await _ | Spmd.Prog.Release _ | Spmd.Prog.Barrier -> 1
+      | Spmd.Prog.For_time { body; _ } -> count_sync_ops body
+      | _ -> 0)
+    0 instrs
+
+(* A phase span whose args come from the phase's result (copy and sync-op
+   counts are only known after the transformation ran). *)
+let phase trace name args_of f =
+  if not (Obs.Trace.enabled trace) then f ()
+  else begin
+    let t0 = Obs.Trace.now_us trace in
+    let r = f () in
+    Obs.Trace.complete trace ~tid:pipeline_tid ~cat:"cr" ~args:(args_of r)
+      ~ts:t0
+      ~dur:(Obs.Trace.now_us trace -. t0)
+      name;
+    r
+  end
+
 (* Shared skeleton of [compile] and [stage_blocks]: run the staged
    transformation on one eligible block body. *)
-let transform_block (config : config) prog ~fresh_copy_id body =
+let transform_block ?(trace = Obs.Trace.null) (config : config) prog
+    ~fresh_copy_id body =
   let r =
-    Replicate.block ~prog ~pairs_mode:config.intersections
-      ~hierarchical:config.hierarchical ~fresh_copy_id body
+    phase trace "cr.replicate"
+      (fun r ->
+        [
+          ( "copies",
+            Obs.Trace.Int
+              (count_copies
+                 (r.Replicate.init @ r.Replicate.loop_body
+                @ r.Replicate.finalize)) );
+        ])
+      (fun () ->
+        Replicate.block ~prog ~pairs_mode:config.intersections
+          ~hierarchical:config.hierarchical ~fresh_copy_id body)
   in
   let finalize_sources =
     List.filter_map
@@ -143,17 +193,32 @@ let transform_block (config : config) prog ~fresh_copy_id body =
       r.Replicate.finalize
   in
   let placed =
-    if config.placement then
-      Placement.optimize ~prog:r.Replicate.prog ~finalize_sources
-        r.Replicate.loop_body
-    else r.Replicate.loop_body
+    phase trace "cr.placement"
+      (fun placed -> [ ("copies", Obs.Trace.Int (count_copies placed)) ])
+      (fun () ->
+        if config.placement then
+          Placement.optimize ~prog:r.Replicate.prog ~finalize_sources
+            r.Replicate.loop_body
+        else r.Replicate.loop_body)
   in
-  let synced, credits = Sync.insert ~prog:r.Replicate.prog ~mode:config.sync placed in
+  let synced, credits =
+    phase trace "cr.sync"
+      (fun (synced, credits) ->
+        [
+          ("sync_ops", Obs.Trace.Int (count_sync_ops synced));
+          ("credits", Obs.Trace.Int (List.length credits));
+        ])
+      (fun () -> Sync.insert ~prog:r.Replicate.prog ~mode:config.sync placed)
+  in
   (r, placed, synced, credits)
 
-let compile (config : config) (prog : Program.t) =
-  Check.check_exn prog;
-  let prog = Normalize.program prog in
+let compile ?(trace = Obs.Trace.null) (config : config) (prog : Program.t) =
+  phase trace "cr.check" (fun _ -> []) (fun () -> Check.check_exn prog);
+  let prog =
+    phase trace "cr.normalize"
+      (fun _ -> [])
+      (fun () -> Normalize.program prog)
+  in
   let counter = ref 0 in
   let fresh_copy_id () =
     let id = !counter in
@@ -178,21 +243,30 @@ let compile (config : config) (prog : Program.t) =
         when block_eligible !cur body = None ->
           flush_seq ();
           let r, _, loop_body, credits =
-            transform_block config !cur ~fresh_copy_id body
+            transform_block ~trace config !cur ~fresh_copy_id body
           in
           cur := r.Replicate.prog;
-          let body_instrs = [ Spmd.Prog.For_time { var; count; body = loop_body } ] in
           let block =
-            {
-              Spmd.Prog.shards = config.shards;
-              init = r.Replicate.init;
-              body = body_instrs;
-              finalize = r.Replicate.finalize;
-              copies =
-                collect_copies
-                  (r.Replicate.init @ loop_body @ r.Replicate.finalize);
-              credits;
-            }
+            phase trace "cr.shard"
+              (fun (b : Spmd.Prog.block) ->
+                [
+                  ("shards", Obs.Trace.Int b.Spmd.Prog.shards);
+                  ("copies", Obs.Trace.Int (List.length b.Spmd.Prog.copies));
+                ])
+              (fun () ->
+                let body_instrs =
+                  [ Spmd.Prog.For_time { var; count; body = loop_body } ]
+                in
+                {
+                  Spmd.Prog.shards = config.shards;
+                  init = r.Replicate.init;
+                  body = body_instrs;
+                  finalize = r.Replicate.finalize;
+                  copies =
+                    collect_copies
+                      (r.Replicate.init @ loop_body @ r.Replicate.finalize);
+                  credits;
+                })
           in
           items := Spmd.Prog.Replicated block :: !items
       | _ -> pending_seq := stmt :: !pending_seq)

@@ -38,9 +38,14 @@ val block_eligible : Ir.Program.t -> Ir.Types.stmt list -> ineligible option
 (** [None] when a [For_time] body can be replicated; otherwise the first
     offending statement and why. *)
 
-val compile : config -> Ir.Program.t -> Spmd.Prog.t
+val compile : ?trace:Obs.Trace.t -> config -> Ir.Program.t -> Spmd.Prog.t
 (** Raises [Invalid_argument] when {!Ir.Check} fails. Programs with no
-    eligible block compile to a fully sequential [Spmd.Prog.t]. *)
+    eligible block compile to a fully sequential [Spmd.Prog.t].
+
+    [trace] records one wall-clock span per pipeline phase (cr.check,
+    cr.normalize, then cr.replicate / cr.placement / cr.sync / cr.shard
+    per replicated block, tid 1000) with copy and sync-op counts as
+    args. *)
 
 (** Intermediate artifacts of one replicated block — the Fig. 4 stages. *)
 type staged = {

@@ -48,7 +48,7 @@ let conflicting_accesses prog earlier later =
     (fun (p1, p2, f, _) -> (p1, p2, f))
     (conflicting_accesses_full prog earlier later)
 
-let relate (prog : Program.t) earlier later =
+let relate_untraced (prog : Program.t) earlier later =
   let tree = prog.Program.tree in
   let pairs = conflicting_accesses_full prog earlier later in
   let same_color = ref false in
@@ -93,3 +93,24 @@ let relate (prog : Program.t) earlier later =
   match (!data, order_only) with
   | [], [] -> if !same_color then Same_color else No_dep
   | d, o -> All_colors { data = compute d; order = compute o }
+
+let relation_kind = function
+  | No_dep -> "no_dep"
+  | Same_color -> "same_color"
+  | All_colors { data; order } ->
+      Printf.sprintf "all_colors(data=%d,order=%d)" (List.length data)
+        (List.length order)
+
+let relate ?(trace = Obs.Trace.null) ?(tid = 2000) (prog : Program.t) earlier
+    later =
+  if not (Obs.Trace.enabled trace) then relate_untraced prog earlier later
+  else begin
+    let t0 = Obs.Trace.now_us trace in
+    let r = relate_untraced prog earlier later in
+    Obs.Trace.complete trace ~tid ~cat:"legion"
+      ~args:[ ("relation", Obs.Trace.Str (relation_kind r)) ]
+      ~ts:t0
+      ~dur:(Obs.Trace.now_us trace -. t0)
+      "dep.relate";
+    r
+  end

@@ -28,9 +28,17 @@ type relation =
   | All_colors of aliased_pairs
 
 val relate :
+  ?trace:Obs.Trace.t ->
+  ?tid:int ->
   Ir.Program.t -> Ir.Types.stmt -> Ir.Types.stmt -> relation
 (** [relate prog earlier later]. Both statements must be index launches
-    (possibly reducing). *)
+    (possibly reducing). When [trace] is enabled, each call records a
+    wall-clock [dep.relate] span (default [tid] 2000) whose [relation]
+    arg names the resulting classification. *)
+
+val relation_kind : relation -> string
+(** Short human-readable tag ([no_dep], [same_color],
+    [all_colors(data=_,order=_)]). *)
 
 val conflicting_accesses :
   Ir.Program.t -> Ir.Types.stmt -> Ir.Types.stmt ->

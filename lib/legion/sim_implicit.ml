@@ -6,7 +6,20 @@ type result = {
   total : float;
   tasks_run : int;
   bytes_moved : float;
+  timeline : Realm.Timeline.t;
 }
+
+(* Trace tids for timeline nodes: the single master control thread plus
+   per-node cores. *)
+let ctl_track = 0
+let core_track node core = (100 * (node + 1)) + core
+
+let track_names ~nodes ~cores =
+  (ctl_track, "master ctl")
+  :: List.concat
+       (List.init nodes (fun n ->
+            List.init cores (fun c ->
+                (core_track n c, Printf.sprintf "node %d core %d" n c))))
 
 (* Precomputed description of one launch statement in the loop body. *)
 type stmt_info = {
@@ -82,7 +95,7 @@ let find_loop (prog : Program.t) =
   | None -> invalid_arg "Sim_implicit: no top-level time loop"
 
 let simulate ~machine ?mapper ?(scale = Scale.unit_scale) ?(steps = 10)
-    (prog : Program.t) =
+    ?(trace = Obs.Trace.null) (prog : Program.t) =
   let mapper =
     match mapper with
     | Some m -> m
@@ -95,9 +108,11 @@ let simulate ~machine ?mapper ?(scale = Scale.unit_scale) ?(steps = 10)
   (* relations.(s1).(s2): how stmt s2 depends on the most recent execution
      of stmt s1 (s1 may follow s2 in body order — the loop back edge). *)
   let relations =
-    Array.init n_stmts (fun s1 ->
-        Array.init n_stmts (fun s2 ->
-            Dep.relate prog infos.(s1).stmt infos.(s2).stmt))
+    Obs.Trace.with_span trace ~tid:0 ~cat:"sim" "sim_implicit.dep_analysis"
+      (fun () ->
+        Array.init n_stmts (fun s1 ->
+            Array.init n_stmts (fun s2 ->
+                Dep.relate ~trace prog infos.(s1).stmt infos.(s2).stmt)))
   in
   let pair_index =
     Array.init n_stmts (fun s1 ->
@@ -106,31 +121,53 @@ let simulate ~machine ?mapper ?(scale = Scale.unit_scale) ?(steps = 10)
   let node_of info c =
     mapper.Mapper.node_of_color ~colors:info.space_size c
   in
+  let cores = Realm.Machine.compute_cores machine in
   let pools =
     Array.init machine.Realm.Machine.nodes (fun _ ->
-        Realm.Cores.create ~cores:(Realm.Machine.compute_cores machine))
+        Realm.Cores.create ~cores)
+  in
+  let nil = Realm.Timeline.nil in
+  let tl = Realm.Timeline.create () in
+  let core_op =
+    Array.init machine.Realm.Machine.nodes (fun _ -> Array.make cores nil)
   in
   (* completion.(s).(c): completion time of the latest execution of color c
-     of stmt s; comp_max.(s): max over colors. *)
+     of stmt s (with the producing timeline node); comp_max.(s): max over
+     colors. *)
   let completion = Array.map (fun i -> Array.make i.space_size 0.) infos in
+  let completion_id =
+    Array.map (fun i -> Array.make i.space_size nil) infos
+  in
   let comp_max = Array.make n_stmts 0. in
+  let comp_max_id = Array.make n_stmts nil in
   let ctl = ref 0. in
+  let ctl_pred = ref nil in
   let scalar_ready = ref 0. in
+  let scalar_pred = ref nil in
   let tasks_run = ref 0 and bytes_moved = ref 0. in
   let per_elem_bytes = machine.Realm.Machine.bytes_per_element in
   let run_stmt s2 =
     let info = infos.(s2) in
     let task = Program.find_task prog info.launch.Types.task in
     let new_completions = Array.make info.space_size 0. in
+    let new_ids = Array.make info.space_size nil in
     for c = 0 to info.space_size - 1 do
       (* The master serially pays launch + analysis per subtask: the O(N)
-         control bottleneck. *)
+         control bottleneck. Each issue is a node on the master track, so
+         the critical path can walk back through the serialized chain. *)
+      let issue_start = !ctl in
       ctl :=
         !ctl
         +. machine.Realm.Machine.launch_overhead
         +. machine.Realm.Machine.analysis_overhead;
-      let ready = ref !ctl in
-      if info.has_scalar_args then ready := Float.max !ready !scalar_ready;
+      let iss =
+        Realm.Timeline.op tl ~cat:"ctl" ~name:"issue" ~track:ctl_track
+          ~start:issue_start ~finish:!ctl ~pred:!ctl_pred ()
+      in
+      ctl_pred := iss;
+      let cands = ref [ (!ctl, iss) ] in
+      if info.has_scalar_args then
+        cands := (!scalar_ready, !scalar_pred) :: !cands;
       let dst_node = node_of info c in
       (* Dependences on every statement's most recent execution. *)
       for s1 = 0 to n_stmts - 1 do
@@ -138,7 +175,7 @@ let simulate ~machine ?mapper ?(scale = Scale.unit_scale) ?(steps = 10)
         | Dep.No_dep -> ()
         | Dep.Same_color ->
             if c < Array.length completion.(s1) then
-              ready := Float.max !ready completion.(s1).(c)
+              cands := (completion.(s1).(c), completion_id.(s1).(c)) :: !cands
         | Dep.All_colors _ ->
             let idx = pair_index.(s1).(s2) in
             if c < Array.length idx then
@@ -159,9 +196,10 @@ let simulate ~machine ?mapper ?(scale = Scale.unit_scale) ?(steps = 10)
                     end
                     else t_prod
                   in
-                  ready := Float.max !ready t)
+                  cands := (t, completion_id.(s1).(i)) :: !cands)
                 idx.(c)
       done;
+      let ready, pred = Realm.Timeline.binding !cands in
       let sizes =
         Array.of_list
           (List.map
@@ -174,31 +212,54 @@ let simulate ~machine ?mapper ?(scale = Scale.unit_scale) ?(steps = 10)
       let noise =
         Realm.Machine.jitter machine ~key:((c * 131) + !tasks_run)
       in
-      let finish =
-        Realm.Cores.execute pools.(dst_node) ~ready:!ready
+      let core, start, finish =
+        Realm.Cores.execute_core pools.(dst_node) ~ready
           ~duration:(task.Task.cost sizes *. noise)
       in
+      let pred = if start > ready then core_op.(dst_node).(core) else pred in
+      let id =
+        Realm.Timeline.op tl ~cat:"task"
+          ~name:(Printf.sprintf "%s#%d" info.launch.Types.task c)
+          ~args:[ ("color", Obs.Trace.Int c) ]
+          ~track:(core_track dst_node core) ~start ~finish ~pred ()
+      in
+      core_op.(dst_node).(core) <- id;
       incr tasks_run;
-      new_completions.(c) <- finish
+      new_completions.(c) <- finish;
+      new_ids.(c) <- id
     done;
     Array.blit new_completions 0 completion.(s2) 0 info.space_size;
-    comp_max.(s2) <- Array.fold_left Float.max 0. new_completions;
-    if info.is_reduce then
+    Array.blit new_ids 0 completion_id.(s2) 0 info.space_size;
+    comp_max.(s2) <- 0.;
+    comp_max_id.(s2) <- nil;
+    Array.iteri
+      (fun c t ->
+        if t > comp_max.(s2) then begin
+          comp_max.(s2) <- t;
+          comp_max_id.(s2) <- new_ids.(c)
+        end)
+      new_completions;
+    if info.is_reduce then begin
       (* The master folds the returned futures; dependent launches wait for
          the result but the control thread itself does not block. *)
-      scalar_ready := Float.max !scalar_ready comp_max.(s2)
+      if comp_max.(s2) > !scalar_ready then begin
+        scalar_ready := comp_max.(s2);
+        scalar_pred := comp_max_id.(s2)
+      end
+    end
   in
   let mark () =
     Array.fold_left Float.max !ctl comp_max
   in
   let warmup = min 2 (steps - 1) in
   let warm_mark = ref 0. in
-  for step = 1 to steps do
-    for s = 0 to n_stmts - 1 do
-      run_stmt s
-    done;
-    if step = warmup then warm_mark := mark ()
-  done;
+  Obs.Trace.with_span trace ~tid:0 ~cat:"sim" "sim_implicit.steps" (fun () ->
+      for step = 1 to steps do
+        for s = 0 to n_stmts - 1 do
+          run_stmt s
+        done;
+        if step = warmup then warm_mark := mark ()
+      done);
   let total = mark () in
   {
     per_step =
@@ -208,4 +269,5 @@ let simulate ~machine ?mapper ?(scale = Scale.unit_scale) ?(steps = 10)
     total;
     tasks_run = !tasks_run;
     bytes_moved = !bytes_moved;
+    timeline = tl;
   }

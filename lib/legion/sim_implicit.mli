@@ -19,13 +19,21 @@ type result = {
   total : float;
   tasks_run : int;
   bytes_moved : float;
+  timeline : Realm.Timeline.t;
+      (* every simulated op with its binding predecessor; the critical
+         path's contributions sum to [total] *)
 }
+
+val track_names : nodes:int -> cores:int -> (int * string) list
+(** Thread names for {!Realm.Timeline.emit}: the master control track plus
+    per-node core tracks. *)
 
 val simulate :
   machine:Realm.Machine.t ->
   ?mapper:Mapper.t ->
   ?scale:Scale.t ->
   ?steps:int ->
+  ?trace:Obs.Trace.t ->
   Ir.Program.t ->
   result
 (** Handles [p\[f(i)\]] projections directly (no normalization needed).

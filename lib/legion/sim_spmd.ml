@@ -7,29 +7,68 @@ type result = {
   tasks_run : int;
   copies_run : int;
   bytes_moved : float;
+  timeline : Realm.Timeline.t;
 }
+
+(* Trace tids for timeline nodes: per-shard control thread, per-core
+   execution, per-shard network lane, plus global sync tracks. *)
+let ctl_track s = 100 * s
+let core_track s core = (100 * s) + 1 + core
+let net_track s = (100 * s) + 90
+let barrier_track = 99_000
+let collective_track = 99_001
+
+let track_names ~shards ~cores =
+  let per_shard s =
+    (ctl_track s, Printf.sprintf "shard %d ctl" s)
+    :: (net_track s, Printf.sprintf "shard %d net" s)
+    :: List.init cores (fun c ->
+           (core_track s c, Printf.sprintf "shard %d core %d" s c))
+  in
+  (barrier_track, "barriers")
+  :: (collective_track, "collectives")
+  :: List.concat (List.init shards per_shard)
 
 type state = {
   machine : Realm.Machine.t;
   scale : Scale.t;
   source : Program.t;
   block : Spmd.Prog.block;
+  tl : Realm.Timeline.t;
   ctl : float array; (* control-thread timestamp per shard *)
+  ctl_pred : int array; (* node that last advanced the control thread *)
   scalar_ready : float array; (* per shard: when replicated scalars settle *)
+  scalar_pred : int array;
   last_completion : float array; (* per shard: latest operation completion *)
+  lc_pred : int array;
   pools : Realm.Cores.t array; (* per node *)
-  avail : (string * int, float) Hashtbl.t; (* (partition, color) data ready *)
-  readers_done : (string * int, float) Hashtbl.t;
+  core_op : int array array; (* per node, per core: last occupant node *)
+  avail : (string * int, float * int) Hashtbl.t;
+      (* (partition, color) data ready, with producing node *)
+  readers_done : (string * int, float * int) Hashtbl.t;
   pairsets : (int, Spmd.Intersections.pairs) Hashtbl.t;
-  arrival : (int * int * int, float) Hashtbl.t; (* copy pair arrival *)
-  release : (int * int * int, float) Hashtbl.t; (* WAR release per pair *)
+  arrival : (int * int * int, float * int) Hashtbl.t; (* copy pair arrival *)
+  release : (int * int * int, float * int) Hashtbl.t; (* WAR release per pair *)
   mutable tasks_run : int;
   mutable copies_run : int;
   mutable bytes_moved : float;
 }
 
-let get tbl key = Option.value ~default:0. (Hashtbl.find_opt tbl key)
-let bump tbl key v = Hashtbl.replace tbl key (Float.max (get tbl key) v)
+let nil = Realm.Timeline.nil
+
+let get tbl key = Option.value ~default:(0., nil) (Hashtbl.find_opt tbl key)
+
+let bump tbl key (t, id) =
+  let cur, _ = get tbl key in
+  if t > cur then Hashtbl.replace tbl key (t, id)
+
+let binding = Realm.Timeline.binding
+
+let bump_shard times preds s (t, id) =
+  if t > times.(s) then begin
+    times.(s) <- t;
+    preds.(s) <- id
+  end
 
 let owner st pname color =
   let p = Program.find_partition st.source pname in
@@ -42,15 +81,45 @@ let owned_colors st s space =
 
 let scaled_size st n = int_of_float (float_of_int n *. st.scale.Scale.compute)
 
+(* Advance shard [s]'s control thread by [overhead], recording the gap as
+   an issue node chained on the previous control-thread op, so control
+   serialization is attributable on the critical path. *)
+let issue st s ~name ~overhead =
+  let start = st.ctl.(s) in
+  st.ctl.(s) <- start +. overhead;
+  let id =
+    Realm.Timeline.op st.tl ~cat:"ctl" ~name ~track:(ctl_track s) ~start
+      ~finish:st.ctl.(s) ~pred:st.ctl_pred.(s) ()
+  in
+  st.ctl_pred.(s) <- id;
+  id
+
+(* Dispatch onto shard [s]'s core pool; if the task queued behind the
+   core's previous occupant, that occupant is the binding predecessor. *)
+let dispatch st s ~name ~cat ~args ~ready ~pred ~duration =
+  let core, start, finish =
+    Realm.Cores.execute_core st.pools.(s) ~ready ~duration
+  in
+  let pred = if start > ready then st.core_op.(s).(core) else pred in
+  let id =
+    Realm.Timeline.op st.tl ~cat ~args ~name ~track:(core_track s core) ~start
+      ~finish ~pred ()
+  in
+  st.core_op.(s).(core) <- id;
+  bump_shard st.last_completion st.lc_pred s (finish, id);
+  id
+
 (* One owned task of a launch: charge control overhead, wait for argument
-   data, occupy a core. Returns the completion time. *)
+   data, occupy a core. Returns the completion time and its node. *)
 let run_task st s (launch : Types.launch) c =
   let task = Program.find_task st.source launch.Types.task in
-  st.ctl.(s) <-
-    st.ctl.(s)
-    +. st.machine.Realm.Machine.launch_overhead
-    +. st.machine.Realm.Machine.local_analysis_overhead;
-  let ready = ref (Float.max st.ctl.(s) st.scalar_ready.(s)) in
+  let iss =
+    issue st s ~name:"issue"
+      ~overhead:
+        (st.machine.Realm.Machine.launch_overhead
+        +. st.machine.Realm.Machine.local_analysis_overhead)
+  in
+  let cands = ref [ (st.ctl.(s), iss); (st.scalar_ready.(s), st.scalar_pred.(s)) ] in
   let sizes =
     Array.of_list
       (List.map
@@ -59,20 +128,26 @@ let run_task st s (launch : Types.launch) c =
            | Types.Part (pname, Types.Id) ->
                let p = Program.find_partition st.source pname in
                let card = Region.cardinal (Partition.sub p c) in
-               ready := Float.max !ready (get st.avail (pname, c));
-               ready := Float.max !ready (get st.readers_done (pname, c));
+               cands := get st.avail (pname, c) :: !cands;
+               cands := get st.readers_done (pname, c) :: !cands;
                scaled_size st card
            | Types.Part (_, Types.Fn _) | Types.Whole _ ->
                invalid_arg "Sim_spmd: non-normalized launch argument")
          launch.Types.rargs)
   in
+  let ready, pred = binding !cands in
   let noise =
     Realm.Machine.jitter st.machine ~key:((c * 131) + st.tasks_run)
   in
-  let completion =
-    Realm.Cores.execute st.pools.(s) ~ready:!ready
+  let id =
+    dispatch st s
+      ~name:(Printf.sprintf "%s#%d" launch.Types.task c)
+      ~cat:"task"
+      ~args:[ ("color", Obs.Trace.Int c) ]
+      ~ready ~pred
       ~duration:(task.Task.cost sizes *. noise)
   in
+  let completion = (Realm.Timeline.node st.tl id).Realm.Timeline.finish in
   st.tasks_run <- st.tasks_run + 1;
   let accs =
     List.map
@@ -82,13 +157,12 @@ let run_task st s (launch : Types.launch) c =
   List.iter
     (fun (pname, mode) ->
       match mode with
-      | Privilege.Read -> bump st.readers_done (pname, c) completion
+      | Privilege.Read -> bump st.readers_done (pname, c) (completion, id)
       | Privilege.Read_write | Privilege.Reduce _ ->
-          bump st.avail (pname, c) completion;
-          bump st.readers_done (pname, c) completion)
+          bump st.avail (pname, c) (completion, id);
+          bump st.readers_done (pname, c) (completion, id))
     accs;
-  st.last_completion.(s) <- Float.max st.last_completion.(s) completion;
-  completion
+  (completion, id)
 
 let copy_bytes st (c : Spmd.Prog.copy) inter_cardinal =
   float_of_int inter_cardinal *. st.scale.Scale.copy
@@ -114,17 +188,26 @@ let exec_instr st (instr : Spmd.Prog.instr) =
       (* Local partials, then an asynchronous dynamic collective (§4.4):
          control threads do not block; dependent tasks wait for the
          result. *)
-      let finish = ref 0. in
+      let finish = ref 0. and fpred = ref nil in
       for s = 0 to shards - 1 do
         List.iter
-          (fun c -> finish := Float.max !finish (run_task st s launch c))
+          (fun c ->
+            let completion, id = run_task st s launch c in
+            if completion > !finish then begin
+              finish := completion;
+              fpred := id
+            end)
           (owned_colors st s space)
       done;
-      let result_at =
-        !finish +. Realm.Machine.collective_time st.machine
+      let result_at = !finish +. Realm.Machine.collective_time st.machine in
+      let cnode =
+        Realm.Timeline.op st.tl ~cat:"sync"
+          ~name:("collective:" ^ launch.Types.task)
+          ~track:collective_track ~start:!finish ~finish:result_at
+          ~pred:!fpred ()
       in
       for s = 0 to shards - 1 do
-        st.scalar_ready.(s) <- Float.max st.scalar_ready.(s) result_at
+        bump_shard st.scalar_ready st.scalar_pred s (result_at, cnode)
       done
   | Spmd.Prog.Fill { part; fields; _ } ->
       for s = 0 to shards - 1 do
@@ -137,18 +220,28 @@ let exec_instr st (instr : Spmd.Prog.instr) =
               *. st.machine.Realm.Machine.bytes_per_element
               *. float_of_int (List.length fields)
             in
-            st.ctl.(s) <-
-              st.ctl.(s) +. st.machine.Realm.Machine.launch_overhead;
-            let ready =
-              Float.max st.ctl.(s)
-                (Float.max (get st.avail (part, c)) (get st.readers_done (part, c)))
+            let iss =
+              issue st s ~name:"issue"
+                ~overhead:st.machine.Realm.Machine.launch_overhead
             in
-            let completion =
-              Realm.Cores.execute st.pools.(s) ~ready
+            let ready, pred =
+              binding
+                [
+                  (st.ctl.(s), iss);
+                  get st.avail (part, c);
+                  get st.readers_done (part, c);
+                ]
+            in
+            let id =
+              dispatch st s
+                ~name:(Printf.sprintf "fill:%s#%d" part c)
+                ~cat:"fill" ~args:[] ~ready ~pred
                 ~duration:(bytes /. st.machine.Realm.Machine.memory_bandwidth)
             in
-            bump st.avail (part, c) completion;
-            st.last_completion.(s) <- Float.max st.last_completion.(s) completion)
+            let completion =
+              (Realm.Timeline.node st.tl id).Realm.Timeline.finish
+            in
+            bump st.avail (part, c) (completion, id))
           (Spmd.Prog.colors_of_shard ~shards
              ~colors:(Partition.color_count p) s)
       done
@@ -159,11 +252,12 @@ let exec_instr st (instr : Spmd.Prog.instr) =
         (fun (i, j, inter) ->
           let s = owner st ps i in
           let key = (c.Spmd.Prog.copy_id, i, j) in
-          st.ctl.(s) <-
-            st.ctl.(s) +. st.machine.Realm.Machine.copy_issue_overhead;
-          let ready =
-            Float.max st.ctl.(s)
-              (Float.max (get st.avail (ps, i)) (get st.release key))
+          let iss =
+            issue st s ~name:"issue_copy"
+              ~overhead:st.machine.Realm.Machine.copy_issue_overhead
+          in
+          let ready, pred =
+            binding [ (st.ctl.(s), iss); get st.avail (ps, i); get st.release key ]
           in
           let bytes = copy_bytes st c (Index_space.cardinal inter) in
           let dur =
@@ -171,10 +265,16 @@ let exec_instr st (instr : Spmd.Prog.instr) =
               ~dst_node:(owner st pd j) ~bytes
           in
           let completion = ready +. dur in
-          Hashtbl.replace st.arrival key completion;
+          let id =
+            Realm.Timeline.op st.tl ~cat:"copy"
+              ~name:(Printf.sprintf "copy%d:%d->%d" c.Spmd.Prog.copy_id i j)
+              ~args:[ ("bytes", Obs.Trace.Float bytes) ]
+              ~track:(net_track s) ~start:ready ~finish:completion ~pred ()
+          in
+          Hashtbl.replace st.arrival key (completion, id);
           st.copies_run <- st.copies_run + 1;
           st.bytes_moved <- st.bytes_moved +. bytes;
-          st.last_completion.(s) <- Float.max st.last_completion.(s) completion)
+          bump_shard st.last_completion st.lc_pred s (completion, id))
         pairs.Spmd.Intersections.items
   | Spmd.Prog.Await copy_id ->
       (* Deferred precondition: destination data becomes ready at arrival,
@@ -206,13 +306,28 @@ let exec_instr st (instr : Spmd.Prog.instr) =
   | Spmd.Prog.Barrier ->
       (* Global barriers block the control threads (this is exactly what
          the §3.4 point-to-point refinement avoids). *)
-      let arrive = ref 0. in
+      let arrive = ref 0. and apred = ref nil in
       for s = 0 to shards - 1 do
-        arrive := Float.max !arrive (Float.max st.ctl.(s) st.last_completion.(s))
+        let t, id =
+          binding
+            [
+              (st.ctl.(s), st.ctl_pred.(s));
+              (st.last_completion.(s), st.lc_pred.(s));
+            ]
+        in
+        if t > !arrive then begin
+          arrive := t;
+          apred := id
+        end
       done;
       let done_at = !arrive +. Realm.Machine.barrier_time st.machine in
+      let bnode =
+        Realm.Timeline.op st.tl ~cat:"sync" ~name:"barrier"
+          ~track:barrier_track ~start:!arrive ~finish:done_at ~pred:!apred ()
+      in
       for s = 0 to shards - 1 do
-        st.ctl.(s) <- done_at
+        st.ctl.(s) <- done_at;
+        st.ctl_pred.(s) <- bnode
       done
   | Spmd.Prog.Checkpoint _ ->
       (* The performance model has no fault model; checkpoints cost
@@ -231,22 +346,29 @@ let find_block (prog : Spmd.Prog.t) =
   | None -> invalid_arg "Sim_spmd: no replicated block in program"
 
 let simulate ~machine ?(scale = Scale.unit_scale) ?(steps = 10)
-    (prog : Spmd.Prog.t) =
+    ?(trace = Obs.Trace.null) (prog : Spmd.Prog.t) =
   let block = find_block prog in
   if block.Spmd.Prog.shards <> machine.Realm.Machine.nodes then
     invalid_arg "Sim_spmd: shard count differs from machine nodes";
+  let cores = Realm.Machine.compute_cores machine in
   let st =
     {
       machine;
       scale;
       source = prog.Spmd.Prog.source;
       block;
+      tl = Realm.Timeline.create ();
       ctl = Array.make block.Spmd.Prog.shards 0.;
+      ctl_pred = Array.make block.Spmd.Prog.shards nil;
       scalar_ready = Array.make block.Spmd.Prog.shards 0.;
+      scalar_pred = Array.make block.Spmd.Prog.shards nil;
       last_completion = Array.make block.Spmd.Prog.shards 0.;
+      lc_pred = Array.make block.Spmd.Prog.shards nil;
       pools =
         Array.init machine.Realm.Machine.nodes (fun _ ->
-            Realm.Cores.create ~cores:(Realm.Machine.compute_cores machine));
+            Realm.Cores.create ~cores);
+      core_op =
+        Array.init machine.Realm.Machine.nodes (fun _ -> Array.make cores nil);
       avail = Hashtbl.create 1024;
       readers_done = Hashtbl.create 1024;
       pairsets = Hashtbl.create 16;
@@ -259,20 +381,22 @@ let simulate ~machine ?(scale = Scale.unit_scale) ?(steps = 10)
   in
   (* Dynamic intersections, computed once up front (§3.3; the paper lifts
      them to program start via loop-invariant code motion). *)
-  List.iter
-    (fun (c : Spmd.Prog.copy) ->
-      match (c.Spmd.Prog.src, c.Spmd.Prog.dst) with
-      | Spmd.Prog.Opart ps, Spmd.Prog.Opart pd ->
-          let src = Program.find_partition st.source ps
-          and dst = Program.find_partition st.source pd in
-          let pairs =
-            match c.Spmd.Prog.pairs with
-            | `Sparse -> Spmd.Intersections.compute ~src ~dst ()
-            | `Dense -> Spmd.Intersections.compute_all_pairs ~src ~dst ()
-          in
-          Hashtbl.replace st.pairsets c.Spmd.Prog.copy_id pairs
-      | _ -> ())
-    block.Spmd.Prog.copies;
+  Obs.Trace.with_span trace ~tid:0 ~cat:"sim" "sim_spmd.intersections"
+    (fun () ->
+      List.iter
+        (fun (c : Spmd.Prog.copy) ->
+          match (c.Spmd.Prog.src, c.Spmd.Prog.dst) with
+          | Spmd.Prog.Opart ps, Spmd.Prog.Opart pd ->
+              let src = Program.find_partition st.source ps
+              and dst = Program.find_partition st.source pd in
+              let pairs =
+                match c.Spmd.Prog.pairs with
+                | `Sparse -> Spmd.Intersections.compute ~src ~dst ()
+                | `Dense -> Spmd.Intersections.compute_all_pairs ~src ~dst ()
+              in
+              Hashtbl.replace st.pairsets c.Spmd.Prog.copy_id pairs
+          | _ -> ())
+        block.Spmd.Prog.copies);
   (* The measured region: the block's time loop, re-run for [steps]
      simulated timesteps regardless of the source loop's count. *)
   let loop_body =
@@ -289,10 +413,11 @@ let simulate ~machine ?(scale = Scale.unit_scale) ?(steps = 10)
   in
   let warmup = min 2 (steps - 1) in
   let warm_mark = ref 0. in
-  for step = 1 to steps do
-    List.iter (exec_instr st) loop_body;
-    if step = warmup then warm_mark := mark ()
-  done;
+  Obs.Trace.with_span trace ~tid:0 ~cat:"sim" "sim_spmd.steps" (fun () ->
+      for step = 1 to steps do
+        List.iter (exec_instr st) loop_body;
+        if step = warmup then warm_mark := mark ()
+      done);
   let total = mark () in
   {
     per_step =
@@ -302,4 +427,5 @@ let simulate ~machine ?(scale = Scale.unit_scale) ?(steps = 10)
     tasks_run = st.tasks_run;
     copies_run = st.copies_run;
     bytes_moved = st.bytes_moved;
+    timeline = st.tl;
   }

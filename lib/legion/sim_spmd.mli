@@ -18,13 +18,24 @@ type result = {
   tasks_run : int;
   copies_run : int;
   bytes_moved : float;
+  timeline : Realm.Timeline.t;
+      (* every simulated op with its binding predecessor; the critical
+         path's contributions sum to [total] *)
 }
+
+val track_names : shards:int -> cores:int -> (int * string) list
+(** Thread names for {!Realm.Timeline.emit}: per-shard ctl/net/core
+    tracks plus the global barrier and collective tracks. *)
 
 val simulate :
   machine:Realm.Machine.t ->
   ?scale:Scale.t ->
   ?steps:int ->
+  ?trace:Obs.Trace.t ->
   Spmd.Prog.t ->
   result
 (** The block's shard count must equal [machine.nodes]. Raises
-    [Invalid_argument] if the program has no replicated block. *)
+    [Invalid_argument] if the program has no replicated block. [trace]
+    receives wall-clock spans for the simulator's own work (intersection
+    precomputation, stepping); the simulated-time timeline is returned in
+    the result for the caller to emit. *)

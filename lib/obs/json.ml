@@ -1,0 +1,289 @@
+(* A minimal JSON value with a printer and a recursive-descent parser.
+
+   Kept dependency-free on purpose: the observability layer must be usable
+   from every library in the tree (and from tests validating the artifacts
+   it writes) without pulling an external JSON package into the build. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+(* ---------- printing ---------- *)
+
+let escape buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let add_float buf f =
+  (* JSON has no NaN/Infinity; map them to null rather than emit garbage. *)
+  if Float.is_finite f then begin
+    let s = Printf.sprintf "%.12g" f in
+    Buffer.add_string buf s;
+    (* Keep floats recognizable as floats on re-parse. *)
+    if String.for_all (function '0' .. '9' | '-' -> true | _ -> false) s then
+      Buffer.add_string buf ".0"
+  end
+  else Buffer.add_string buf "null"
+
+let rec add buf ~indent ~level v =
+  let nl pad =
+    if indent > 0 then begin
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf (String.make (indent * pad) ' ')
+    end
+  in
+  match v with
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f -> add_float buf f
+  | Str s -> escape buf s
+  | List [] -> Buffer.add_string buf "[]"
+  | List items ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i item ->
+          if i > 0 then Buffer.add_char buf ',';
+          nl (level + 1);
+          add buf ~indent ~level:(level + 1) item)
+        items;
+      nl level;
+      Buffer.add_char buf ']'
+  | Obj [] -> Buffer.add_string buf "{}"
+  | Obj fields ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, item) ->
+          if i > 0 then Buffer.add_char buf ',';
+          nl (level + 1);
+          escape buf k;
+          Buffer.add_char buf ':';
+          if indent > 0 then Buffer.add_char buf ' ';
+          add buf ~indent ~level:(level + 1) item)
+        fields;
+      nl level;
+      Buffer.add_char buf '}'
+
+let to_buffer ?(indent = 0) buf v = add buf ~indent ~level:0 v
+
+let to_string ?(indent = 0) v =
+  let buf = Buffer.create 1024 in
+  to_buffer ~indent buf v;
+  Buffer.contents buf
+
+let to_channel ?(indent = 0) oc v =
+  let buf = Buffer.create 65536 in
+  to_buffer ~indent buf v;
+  Buffer.output_buffer oc buf
+
+(* ---------- parsing ---------- *)
+
+exception Parse_error of string
+
+type cursor = { s : string; mutable pos : int }
+
+let fail cur msg =
+  raise (Parse_error (Printf.sprintf "%s at offset %d" msg cur.pos))
+
+let peek cur = if cur.pos < String.length cur.s then Some cur.s.[cur.pos] else None
+
+let skip_ws cur =
+  while
+    cur.pos < String.length cur.s
+    && match cur.s.[cur.pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+  do
+    cur.pos <- cur.pos + 1
+  done
+
+let expect cur c =
+  match peek cur with
+  | Some c' when c' = c -> cur.pos <- cur.pos + 1
+  | _ -> fail cur (Printf.sprintf "expected %C" c)
+
+let literal cur word value =
+  let n = String.length word in
+  if
+    cur.pos + n <= String.length cur.s
+    && String.sub cur.s cur.pos n = word
+  then begin
+    cur.pos <- cur.pos + n;
+    value
+  end
+  else fail cur (Printf.sprintf "expected %s" word)
+
+let parse_string cur =
+  expect cur '"';
+  let buf = Buffer.create 16 in
+  let rec go () =
+    if cur.pos >= String.length cur.s then fail cur "unterminated string";
+    let c = cur.s.[cur.pos] in
+    cur.pos <- cur.pos + 1;
+    match c with
+    | '"' -> Buffer.contents buf
+    | '\\' -> (
+        if cur.pos >= String.length cur.s then fail cur "bad escape";
+        let e = cur.s.[cur.pos] in
+        cur.pos <- cur.pos + 1;
+        match e with
+        | '"' | '\\' | '/' ->
+            Buffer.add_char buf e;
+            go ()
+        | 'n' -> Buffer.add_char buf '\n'; go ()
+        | 't' -> Buffer.add_char buf '\t'; go ()
+        | 'r' -> Buffer.add_char buf '\r'; go ()
+        | 'b' -> Buffer.add_char buf '\b'; go ()
+        | 'f' -> Buffer.add_char buf '\012'; go ()
+        | 'u' ->
+            if cur.pos + 4 > String.length cur.s then fail cur "bad \\u escape";
+            let hex = String.sub cur.s cur.pos 4 in
+            cur.pos <- cur.pos + 4;
+            let code =
+              try int_of_string ("0x" ^ hex)
+              with _ -> fail cur "bad \\u escape"
+            in
+            (* Decode to UTF-8; surrogate pairs are not needed for the
+               artifacts this layer produces. *)
+            if code < 0x80 then Buffer.add_char buf (Char.chr code)
+            else if code < 0x800 then begin
+              Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+              Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+            end
+            else begin
+              Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+              Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+              Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+            end;
+            go ()
+        | _ -> fail cur "bad escape")
+    | c ->
+        Buffer.add_char buf c;
+        go ()
+  in
+  go ()
+
+let parse_number cur =
+  let start = cur.pos in
+  let is_num_char = function
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  while
+    cur.pos < String.length cur.s && is_num_char cur.s.[cur.pos]
+  do
+    cur.pos <- cur.pos + 1
+  done;
+  let text = String.sub cur.s start (cur.pos - start) in
+  let is_float =
+    String.exists (function '.' | 'e' | 'E' -> true | _ -> false) text
+  in
+  if is_float then
+    match float_of_string_opt text with
+    | Some f -> Float f
+    | None -> fail cur "bad number"
+  else
+    match int_of_string_opt text with
+    | Some i -> Int i
+    | None -> (
+        match float_of_string_opt text with
+        | Some f -> Float f
+        | None -> fail cur "bad number")
+
+let rec parse_value cur =
+  skip_ws cur;
+  match peek cur with
+  | None -> fail cur "unexpected end of input"
+  | Some '"' -> Str (parse_string cur)
+  | Some 't' -> literal cur "true" (Bool true)
+  | Some 'f' -> literal cur "false" (Bool false)
+  | Some 'n' -> literal cur "null" Null
+  | Some '[' ->
+      expect cur '[';
+      skip_ws cur;
+      if peek cur = Some ']' then begin
+        cur.pos <- cur.pos + 1;
+        List []
+      end
+      else begin
+        let items = ref [ parse_value cur ] in
+        skip_ws cur;
+        while peek cur = Some ',' do
+          cur.pos <- cur.pos + 1;
+          items := parse_value cur :: !items;
+          skip_ws cur
+        done;
+        expect cur ']';
+        List (List.rev !items)
+      end
+  | Some '{' ->
+      expect cur '{';
+      skip_ws cur;
+      if peek cur = Some '}' then begin
+        cur.pos <- cur.pos + 1;
+        Obj []
+      end
+      else begin
+        let field () =
+          skip_ws cur;
+          let k = parse_string cur in
+          skip_ws cur;
+          expect cur ':';
+          let v = parse_value cur in
+          (k, v)
+        in
+        let fields = ref [ field () ] in
+        skip_ws cur;
+        while peek cur = Some ',' do
+          cur.pos <- cur.pos + 1;
+          fields := field () :: !fields;
+          skip_ws cur
+        done;
+        expect cur '}';
+        Obj (List.rev !fields)
+      end
+  | Some _ -> parse_number cur
+
+let of_string s =
+  let cur = { s; pos = 0 } in
+  match parse_value cur with
+  | v ->
+      skip_ws cur;
+      if cur.pos <> String.length s then Error "trailing garbage"
+      else Ok v
+  | exception Parse_error msg -> Error msg
+
+let of_string_exn s =
+  match of_string s with
+  | Ok v -> v
+  | Error msg -> raise (Parse_error msg)
+
+(* ---------- accessors ---------- *)
+
+let member key = function
+  | Obj fields -> List.assoc_opt key fields
+  | _ -> None
+
+let to_list = function List l -> Some l | _ -> None
+
+let number = function
+  | Int i -> Some (float_of_int i)
+  | Float f -> Some f
+  | _ -> None
+
+let string_value = function Str s -> Some s | _ -> None

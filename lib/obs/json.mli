@@ -1,0 +1,32 @@
+(** Minimal dependency-free JSON: enough to write the Chrome trace-event
+    and bench artifacts and to re-parse them in schema-checking tests. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+val to_string : ?indent:int -> t -> string
+(** [indent = 0] (default) is compact; [indent = 2] pretty-prints.
+    Non-finite floats serialize as [null]. *)
+
+val to_buffer : ?indent:int -> Buffer.t -> t -> unit
+val to_channel : ?indent:int -> out_channel -> t -> unit
+
+val of_string : string -> (t, string) result
+val of_string_exn : string -> t
+
+val member : string -> t -> t option
+(** Field lookup on [Obj]; [None] on any other constructor. *)
+
+val to_list : t -> t list option
+val number : t -> float option
+(** [Int] and [Float] both read as numbers. *)
+
+val string_value : t -> string option

@@ -1,0 +1,84 @@
+(* Counter/gauge registry.
+
+   Counters are atomic ints (the domains executor bumps them without a
+   lock); gauges are read-on-dump views — a closure over whatever mutable
+   state owns the number — so existing mutable stats records (e.g.
+   [Spmd.Intersections.stats]) can surface through the registry without
+   changing their representation. Registration is idempotent by name. *)
+
+type counter = { cname : string; cell : int Atomic.t }
+
+type entry = Counter of counter | Gauge of (unit -> float)
+
+type t = { mutex : Mutex.t; entries : (string, entry) Hashtbl.t }
+
+let create () = { mutex = Mutex.create (); entries = Hashtbl.create 64 }
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let counter t name =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.entries name with
+      | Some (Counter c) -> c
+      | Some (Gauge _) ->
+          invalid_arg
+            (Printf.sprintf "Obs.Metrics.counter: %s is a gauge" name)
+      | None ->
+          let c = { cname = name; cell = Atomic.make 0 } in
+          Hashtbl.replace t.entries name (Counter c);
+          c)
+
+let cell c = c.cell
+let name c = c.cname
+let incr c = Atomic.incr c.cell
+let add c n = ignore (Atomic.fetch_and_add c.cell n)
+let get c = Atomic.get c.cell
+
+let gauge t name read =
+  locked t (fun () -> Hashtbl.replace t.entries name (Gauge read))
+
+let set t name v = gauge t name (fun () -> v)
+
+type value = [ `Counter of int | `Gauge of float ]
+
+let dump t =
+  locked t (fun () ->
+      Hashtbl.fold
+        (fun name entry acc ->
+          let v =
+            match entry with
+            | Counter c -> `Counter (Atomic.get c.cell)
+            | Gauge read -> `Gauge (read ())
+          in
+          (name, v) :: acc)
+        t.entries [])
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let find t name =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.entries name with
+      | Some (Counter c) -> Some (`Counter (Atomic.get c.cell))
+      | Some (Gauge read) -> Some (`Gauge (read ()))
+      | None -> None)
+
+let to_json t =
+  Json.Obj
+    (List.map
+       (fun (name, v) ->
+         ( name,
+           match v with
+           | `Counter n -> Json.Int n
+           | `Gauge f -> Json.Float f ))
+       (dump t))
+
+let pp ppf t =
+  List.iter
+    (fun (name, v) ->
+      match v with
+      | `Counter n -> Format.fprintf ppf "%-48s %12d@." name n
+      | `Gauge f -> Format.fprintf ppf "%-48s %12.6g@." name f)
+    (dump t)
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,42 @@
+(** Counter/gauge registry.
+
+    Counters are atomic ints, safe to bump from OCaml domains without a
+    lock; gauges are read-on-dump closures, letting existing mutable stats
+    records surface through the registry as views. Registration is
+    idempotent by name within one registry. *)
+
+type t
+
+val create : unit -> t
+
+type counter
+
+val counter : t -> string -> counter
+(** Find or create. Raises [Invalid_argument] if [name] is registered as a
+    gauge. *)
+
+val cell : counter -> int Atomic.t
+(** The underlying atomic — the compatibility bridge that lets
+    [Spmd.Exec.stats] expose registry counters as plain [int Atomic.t]
+    record fields. *)
+
+val name : counter -> string
+val incr : counter -> unit
+val add : counter -> int -> unit
+val get : counter -> int
+
+val gauge : t -> string -> (unit -> float) -> unit
+(** Register (or replace) a gauge view; [read] runs at dump time. *)
+
+val set : t -> string -> float -> unit
+(** A constant gauge: [set t name v] = [gauge t name (fun () -> v)]. *)
+
+type value = [ `Counter of int | `Gauge of float ]
+
+val dump : t -> (string * value) list
+(** Sorted by name. *)
+
+val find : t -> string -> value option
+val to_json : t -> Json.t
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,110 @@
+(** Span/instant tracing with pluggable sinks and two clocks.
+
+    Wall-clock helpers stamp microseconds since trace creation; virtual
+    helpers take explicit simulated-seconds timestamps from the machine
+    simulator. Both clocks share one trace: wall events default to process
+    {!wall_pid}, virtual events to {!virtual_pid}, so a single Chrome
+    trace-event file shows real execution and simulated time side by side
+    in Perfetto. *)
+
+type arg =
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+
+type phase =
+  | B  (** span begin *)
+  | E  (** span end *)
+  | I  (** instant *)
+  | X of float  (** complete span; payload is duration in microseconds *)
+  | M  (** metadata (process/thread names) *)
+
+type event = {
+  name : string;
+  cat : string;
+  ph : phase;
+  ts : float;  (** microseconds *)
+  pid : int;
+  tid : int;
+  args : (string * arg) list;
+}
+
+val wall_pid : int
+(** Default pid (0) for wall-clock events — the real process. *)
+
+val virtual_pid : int
+(** Default pid (1) for virtual-time events — the simulated machine. *)
+
+type t
+
+val null : t
+(** Discards everything; {!enabled} is [false], so instrumented code pays
+    only a branch. The default sink everywhere. *)
+
+val memory : ?capacity:int -> unit -> t
+(** In-memory ring buffer (default capacity 2^20 events; oldest events are
+    overwritten past capacity — see {!dropped}). *)
+
+val stream : Buffer.t -> t
+(** Serializes each event into [buf] as Chrome trace JSON as it arrives;
+    call {!finish} to close the JSON document. *)
+
+val finish : t -> unit
+(** Close a {!stream} trace's JSON document. No-op for other sinks. *)
+
+val enabled : t -> bool
+val now_us : t -> float
+(** Microseconds since the trace was created. *)
+
+(** {1 Wall-clock events} (timestamped with {!now_us}, default pid
+    {!wall_pid}) *)
+
+val begin_span :
+  t -> ?pid:int -> tid:int -> ?cat:string -> ?args:(string * arg) list ->
+  string -> unit
+
+val end_span :
+  t -> ?pid:int -> tid:int -> ?args:(string * arg) list -> string -> unit
+
+val with_span :
+  t -> ?pid:int -> tid:int -> ?cat:string -> ?args:(string * arg) list ->
+  string -> (unit -> 'a) -> 'a
+(** Runs [f] inside a complete (X) span; exception-safe. *)
+
+val instant :
+  t -> ?pid:int -> tid:int -> ?cat:string -> ?args:(string * arg) list ->
+  string -> unit
+
+val complete :
+  t -> ?pid:int -> tid:int -> ?cat:string -> ?args:(string * arg) list ->
+  ts:float -> dur:float -> string -> unit
+(** Explicit complete span; [ts]/[dur] in microseconds. *)
+
+(** {1 Virtual-time events} (explicit simulated seconds, default pid
+    {!virtual_pid}) *)
+
+val complete_v :
+  t -> ?pid:int -> tid:int -> ?cat:string -> ?args:(string * arg) list ->
+  ts_s:float -> dur_s:float -> string -> unit
+
+val instant_v :
+  t -> ?pid:int -> tid:int -> ?cat:string -> ?args:(string * arg) list ->
+  ts_s:float -> string -> unit
+
+(** {1 Metadata} *)
+
+val set_process_name : t -> pid:int -> string -> unit
+val set_thread_name : t -> ?pid:int -> tid:int -> string -> unit
+
+(** {1 Inspection and export} *)
+
+val events : t -> event list
+(** Events in emission order. Empty for null and stream sinks. *)
+
+val dropped : t -> int
+(** Events overwritten by ring wraparound (memory sink only). *)
+
+val to_chrome_json : t -> Json.t
+val to_chrome_string : t -> string
+val write_chrome_file : t -> string -> unit

@@ -10,7 +10,7 @@ let create ~cores =
 
 let cores t = Array.length t.free_at
 
-let execute t ~ready ~duration =
+let execute_core t ~ready ~duration =
   let best = ref 0 in
   for i = 1 to Array.length t.free_at - 1 do
     if t.free_at.(i) < t.free_at.(!best) then best := i
@@ -18,6 +18,10 @@ let execute t ~ready ~duration =
   let start = Float.max ready t.free_at.(!best) in
   let finish = start +. duration in
   t.free_at.(!best) <- finish;
+  (!best, start, finish)
+
+let execute t ~ready ~duration =
+  let _, _, finish = execute_core t ~ready ~duration in
   finish
 
 let busy_until t = Array.fold_left Float.max 0. t.free_at

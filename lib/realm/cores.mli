@@ -14,6 +14,12 @@ val execute : t -> ready:float -> duration:float -> float
 (** Completion time of a task that becomes ready at [ready] and runs for
     [duration] on one core. *)
 
+val execute_core : t -> ready:float -> duration:float -> int * float * float
+(** Like {!execute} but also reports placement: [(core, start, finish)].
+    [start > ready] means the task queued behind the core's previous
+    occupant — the simulators use this to attribute core queueing on the
+    critical path. *)
+
 val busy_until : t -> float
 (** When the last core frees up. *)
 

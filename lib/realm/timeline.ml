@@ -1,0 +1,116 @@
+(* Completion-time DAG recorded by the machine simulators.
+
+   Each simulated operation (task, copy, fill, barrier, control issue)
+   becomes a node carrying its [start]/[finish] in simulated seconds and
+   the id of its *binding predecessor* — the operation whose completion
+   was the argmax constraint on this one's ready time (control chain,
+   scalar result, data availability, WAR release, or core queueing).
+
+   Binding predecessors give critical-path attribution for free: walking
+   the pred chain back from the last-finishing node yields the critical
+   path, and crediting each node with [finish - pred.finish] telescopes
+   exactly to the makespan. The simulators maintain the invariant
+   [pred.finish <= node.finish], so every contribution is nonnegative. *)
+
+type node = {
+  id : int;
+  name : string;
+  cat : string;
+  track : int; (* trace tid the node is emitted on *)
+  start : float; (* simulated seconds *)
+  finish : float;
+  pred : int; (* binding predecessor id, or [nil] *)
+  args : (string * Obs.Trace.arg) list;
+}
+
+type t = { mutable arr : node array; mutable len : int }
+
+let nil = -1
+
+let create () = { arr = [||]; len = 0 }
+
+(* Argmax over (ready time, producing node) constraints; ties keep the
+   earlier candidate, so attribution is deterministic. *)
+let binding cands =
+  List.fold_left
+    (fun (bt, bi) (t, i) -> if t > bt then (t, i) else (bt, bi))
+    (0., nil) cands
+
+let length t = t.len
+
+let node t id =
+  if id < 0 || id >= t.len then invalid_arg "Timeline.node: bad id";
+  t.arr.(id)
+
+let op t ?(cat = "") ?(args = []) ~name ~track ~start ~finish ~pred () =
+  if pred <> nil && (pred < 0 || pred >= t.len) then
+    invalid_arg "Timeline.op: pred is not an existing node";
+  let id = t.len in
+  let n = { id; name; cat; track; start; finish; pred; args } in
+  let cap = Array.length t.arr in
+  if id >= cap then begin
+    let arr = Array.make (max 64 (2 * cap)) n in
+    Array.blit t.arr 0 arr 0 t.len;
+    t.arr <- arr
+  end;
+  t.arr.(id) <- n;
+  t.len <- t.len + 1;
+  id
+
+let nodes t = List.init t.len (fun i -> t.arr.(i))
+
+let makespan t =
+  let m = ref 0. in
+  for i = 0 to t.len - 1 do
+    if t.arr.(i).finish > !m then m := t.arr.(i).finish
+  done;
+  !m
+
+(* The node the makespan is measured at: latest finish, earliest id on
+   ties (deterministic). *)
+let last t =
+  let best = ref nil in
+  for i = 0 to t.len - 1 do
+    if !best = nil || t.arr.(i).finish > t.arr.(!best).finish then best := i
+  done;
+  !best
+
+let critical_path t =
+  let rec walk acc id = if id = nil then acc else walk (id :: acc) t.arr.(id).pred in
+  let id = last t in
+  if id = nil then [] else walk [] id
+
+(* (node id, span start, span duration) along the critical path; spans
+   tile [0, makespan] because each starts at its predecessor's finish. *)
+let critical_contributions t =
+  let prev_finish = ref 0. in
+  List.map
+    (fun id ->
+      let n = t.arr.(id) in
+      let start = !prev_finish in
+      prev_finish := n.finish;
+      (id, start, n.finish -. start))
+    (critical_path t)
+
+let emit ?pid ?(crit_track = 1_000_000) ?(track_names = []) t trace =
+  if Obs.Trace.enabled trace then begin
+    List.iter
+      (fun (tid, name) -> Obs.Trace.set_thread_name trace ?pid ~tid name)
+      track_names;
+    let crit = Array.make (max 1 t.len) false in
+    List.iter (fun id -> crit.(id) <- true) (critical_path t);
+    for i = 0 to t.len - 1 do
+      let n = t.arr.(i) in
+      let args = if crit.(i) then ("crit", Obs.Trace.Bool true) :: n.args else n.args in
+      Obs.Trace.complete_v trace ?pid ~tid:n.track ~cat:n.cat ~args
+        ~ts_s:n.start ~dur_s:(n.finish -. n.start) n.name
+    done;
+    Obs.Trace.set_thread_name trace ?pid ~tid:crit_track "critical path";
+    List.iter
+      (fun (id, start, dur) ->
+        let n = t.arr.(id) in
+        Obs.Trace.complete_v trace ?pid ~tid:crit_track ~cat:"crit"
+          ~args:[ ("node", Obs.Trace.Int id) ]
+          ~ts_s:start ~dur_s:dur n.name)
+      (critical_contributions t)
+  end

@@ -1,0 +1,71 @@
+(** Completion-time DAG with binding-predecessor critical-path
+    attribution.
+
+    The machine simulators record one node per simulated operation, each
+    pointing at its {e binding predecessor}: the operation whose
+    completion was the argmax constraint on this one's ready time.
+    Walking that chain back from the last-finishing node yields the
+    critical path; crediting each node with [finish - pred.finish]
+    telescopes exactly to the makespan. *)
+
+type node = {
+  id : int;
+  name : string;
+  cat : string;
+  track : int;  (** trace tid the node is emitted on *)
+  start : float;  (** simulated seconds *)
+  finish : float;
+  pred : int;  (** binding predecessor id, or {!nil} *)
+  args : (string * Obs.Trace.arg) list;
+}
+
+type t
+
+val nil : int
+val create : unit -> t
+val length : t -> int
+
+val binding : (float * int) list -> float * int
+(** Argmax over (ready time, producing node) constraints, starting from
+    [(0., nil)]; ties keep the earlier candidate (deterministic). *)
+
+val op :
+  t ->
+  ?cat:string ->
+  ?args:(string * Obs.Trace.arg) list ->
+  name:string ->
+  track:int ->
+  start:float ->
+  finish:float ->
+  pred:int ->
+  unit ->
+  int
+(** Append a node, returning its id. [pred] must be {!nil} or an existing
+    node id; simulators must keep [pred.finish <= finish]. *)
+
+val node : t -> int -> node
+val nodes : t -> node list
+
+val makespan : t -> float
+(** Latest finish over all nodes (0 when empty). *)
+
+val last : t -> int
+(** Id of the node achieving {!makespan} ({!nil} when empty). *)
+
+val critical_path : t -> int list
+(** Pred chain of {!last}, chronological order. *)
+
+val critical_contributions : t -> (int * float * float) list
+(** [(id, start, duration)] per critical-path node; the spans tile
+    [\[0, makespan\]] — their durations sum to {!makespan}. *)
+
+val emit :
+  ?pid:int ->
+  ?crit_track:int ->
+  ?track_names:(int * string) list ->
+  t ->
+  Obs.Trace.t ->
+  unit
+(** Emit every node as a virtual-time complete span on its own track
+    (critical-path members tagged with a [crit] arg), plus a dedicated
+    [crit_track] (default 1_000_000) whose spans tile [0, makespan]. *)

@@ -23,14 +23,39 @@ type stats = {
   checkpoints : int Atomic.t;
 }
 
-let fresh_stats () =
-  {
-    isect = Intersections.fresh_stats ();
-    attempts = Atomic.make 0;
-    retries = Atomic.make 0;
-    injected = Atomic.make 0;
-    checkpoints = Atomic.make 0;
-  }
+(* Without a registry the counters are plain private atomics; with one they
+   *are* registry counters (the record fields alias the registered cells),
+   so existing [Atomic.get stats.attempts] callers and `--metrics` dumps
+   read the same numbers. The intersection timings stay mutable floats in
+   [Intersections.stats] and surface as gauge views. *)
+let fresh_stats ?registry () =
+  match registry with
+  | None ->
+      {
+        isect = Intersections.fresh_stats ();
+        attempts = Atomic.make 0;
+        retries = Atomic.make 0;
+        injected = Atomic.make 0;
+        checkpoints = Atomic.make 0;
+      }
+  | Some reg ->
+      let isect = Intersections.fresh_stats () in
+      Obs.Metrics.gauge reg "exec.isect.shallow_s" (fun () ->
+          isect.Intersections.shallow_s);
+      Obs.Metrics.gauge reg "exec.isect.complete_s" (fun () ->
+          isect.Intersections.complete_s);
+      Obs.Metrics.gauge reg "exec.isect.candidates" (fun () ->
+          float_of_int isect.Intersections.candidates);
+      Obs.Metrics.gauge reg "exec.isect.nonempty" (fun () ->
+          float_of_int isect.Intersections.nonempty);
+      let cell name = Obs.Metrics.cell (Obs.Metrics.counter reg name) in
+      {
+        isect;
+        attempts = cell "exec.attempts";
+        retries = cell "exec.retries";
+        injected = cell "exec.injected";
+        checkpoints = cell "exec.checkpoints";
+      }
 
 (* ---------- per-block runtime state ---------- *)
 
@@ -69,7 +94,27 @@ type bstate = {
   fault : Resilience.Fault.t option;
   rstats : stats option;
   ckpt_sink : (Resilience.Checkpoint.t -> unit) option;
+  trace : Obs.Trace.t;
 }
+
+(* Trace tids: one track per shard (tids 0..9 are reserved for the driver
+   and compile pipeline). *)
+let shard_tid sid = 10 + sid
+
+(* Deterministic span label for an instruction — a function of the shard's
+   instruction stream only, never of scheduling, so per-tid event
+   sequences are identical across schedulers. *)
+let instr_label = function
+  | Prog.Assign (v, _) -> "assign:" ^ v
+  | Prog.For_time _ -> "for_time"
+  | Prog.Launch { launch; _ } -> "launch:" ^ launch.Types.task
+  | Prog.Launch_collective { launch; _ } -> "collective:" ^ launch.Types.task
+  | Prog.Fill { part; _ } -> "fill:" ^ part
+  | Prog.Copy c -> Printf.sprintf "copy#%d" c.Prog.copy_id
+  | Prog.Await id -> Printf.sprintf "await#%d" id
+  | Prog.Release id -> Printf.sprintf "release#%d" id
+  | Prog.Barrier -> "barrier"
+  | Prog.Checkpoint _ -> "checkpoint"
 
 let bump st f = match st.rstats with None -> () | Some s -> Atomic.incr (f s)
 
@@ -161,8 +206,8 @@ let fields_used_of_partition (source : Program.t) (b : Prog.block) pname =
   go b.Prog.finalize;
   !acc
 
-let create_state ?stats ?fault ?ckpt_sink ~(source : Program.t) ctx
-    (b : Prog.block) =
+let create_state ?stats ?fault ?ckpt_sink ?(trace = Obs.Trace.null)
+    ~(source : Program.t) ctx (b : Prog.block) =
   let isect = Option.map (fun s -> s.isect) stats in
   let st =
     {
@@ -179,6 +224,7 @@ let create_state ?stats ?fault ?ckpt_sink ~(source : Program.t) ctx
       fault;
       rstats = stats;
       ckpt_sink;
+      trace;
     }
   in
   List.iter
@@ -599,10 +645,17 @@ let step st s =
         `Stalled
       end
       else
+        let tr = st.trace in
+        let tid = shard_tid s.sid in
+        let t0 = if Obs.Trace.enabled tr then Obs.Trace.now_us tr else 0. in
         let advance () =
           f.idx <- f.idx + 1;
           s.fault_drawn <- false;
           normalize_frames s;
+          if Obs.Trace.enabled tr then
+            Obs.Trace.complete tr ~tid ~cat:"exec" ~ts:t0
+              ~dur:(Obs.Trace.now_us tr -. t0)
+              (instr_label instr);
           `Progress
         in
         match instr with
@@ -612,6 +665,9 @@ let step st s =
         | Prog.For_time { var; count; body } ->
             f.idx <- f.idx + 1;
             s.fault_drawn <- false;
+            Obs.Trace.instant tr ~tid ~cat:"exec"
+              ~args:[ ("count", Obs.Trace.Int count) ]
+              "for_time";
             let start =
               match s.resume with
               | Some t0 ->
@@ -648,6 +704,9 @@ let step st s =
             | `Progress -> advance ())
         | Prog.Release id ->
             do_release st s id;
+            Obs.Trace.instant tr ~tid ~cat:"exec"
+              ~args:[ ("copy_id", Obs.Trace.Int id) ]
+              "credit.release";
             advance ()
         | Prog.Barrier -> (
             match s.wait with
@@ -663,6 +722,9 @@ let step st s =
                 let gen = st.barrier.generation in
                 st.barrier.arrived <- st.barrier.arrived + 1;
                 s.wait <- In_barrier gen;
+                Obs.Trace.instant tr ~tid ~cat:"exec"
+                  ~args:[ ("generation", Obs.Trace.Int gen) ]
+                  "barrier.arrive";
                 if st.barrier.arrived = st.block.Prog.shards then begin
                   st.barrier.arrived <- 0;
                   st.barrier.generation <- gen + 1;
@@ -734,6 +796,9 @@ let step st s =
                   slot.values <- mine @ slot.values;
                   slot.arrived.(s.sid) <- true;
                   s.wait <- In_collective var;
+                  Obs.Trace.instant tr ~tid ~cat:"exec"
+                    ~args:[ ("var", Obs.Trace.Str var) ]
+                    "collective.deposit";
                   if Array.for_all Fun.id slot.arrived then begin
                     let sorted =
                       List.sort
@@ -878,6 +943,8 @@ let drive_domains st (b : Prog.block) master_env ~watchdog ~restore =
   in
   let shard_main sid () =
     let env = Eval.copy master_env in
+    let tr = st.trace in
+    let tid = shard_tid sid in
     (* Block until [pred], parking a description of the wait for the
        watchdog; raises once the watchdog has declared the run dead. *)
     let wait_until ~why pred =
@@ -919,8 +986,24 @@ let drive_domains st (b : Prog.block) master_env ~watchdog ~restore =
       locked (fun () -> status.(sid).cur <- Some instr);
       sleep_faults instr;
       match instr with
+      | Prog.For_time { var; count; body } ->
+          (* Matches the stepper: a loop header is an instant, not a span
+             that would cover every iteration. *)
+          Obs.Trace.instant tr ~tid ~cat:"exec"
+            ~args:[ ("count", Obs.Trace.Int count) ]
+            "for_time";
+          exec_for ~var ~count ~body ~from:0
+      | instr ->
+          let t0 = if Obs.Trace.enabled tr then Obs.Trace.now_us tr else 0. in
+          exec_instr instr;
+          if Obs.Trace.enabled tr then
+            Obs.Trace.complete tr ~tid ~cat:"exec" ~ts:t0
+              ~dur:(Obs.Trace.now_us tr -. t0)
+              (instr_label instr)
+    and exec_instr instr =
+      match instr with
+      | Prog.For_time _ -> assert false (* handled in [exec] *)
       | Prog.Assign (v, e) -> Eval.set env v (Eval.sexpr env e)
-      | Prog.For_time { var; count; body } -> exec_for ~var ~count ~body ~from:0
       | Prog.Launch { space; launch } ->
           List.iter
             (fun c -> ignore (run_launch_color st ~sid env launch c))
@@ -1013,7 +1096,10 @@ let drive_domains st (b : Prog.block) master_env ~watchdog ~restore =
                   let ch = chan st (copy_id, i, j) in
                   ch.war <- ch.war + 1)
                 owned;
-              Condition.broadcast cv)
+              Condition.broadcast cv);
+          Obs.Trace.instant tr ~tid ~cat:"exec"
+            ~args:[ ("copy_id", Obs.Trace.Int copy_id) ]
+            "credit.release"
       | Prog.Barrier ->
           let gen =
             locked (fun () ->
@@ -1026,6 +1112,9 @@ let drive_domains st (b : Prog.block) master_env ~watchdog ~restore =
                 end;
                 gen)
           in
+          Obs.Trace.instant tr ~tid ~cat:"exec"
+            ~args:[ ("generation", Obs.Trace.Int gen) ]
+            "barrier.arrive";
           wait_until
             ~why:(fun () ->
               Resilience.Diag.At_barrier
@@ -1097,6 +1186,9 @@ let drive_domains st (b : Prog.block) master_env ~watchdog ~restore =
                        sorted)
               end;
               Condition.broadcast cv);
+          Obs.Trace.instant tr ~tid ~cat:"exec"
+            ~args:[ ("var", Obs.Trace.Str var) ]
+            "collective.deposit";
           wait_until ~why (fun () -> slot.result <> None);
           let r = locked (fun () -> Option.get slot.result) in
           Eval.set env var r;
@@ -1126,6 +1218,9 @@ let drive_domains st (b : Prog.block) master_env ~watchdog ~restore =
             match body_arr.(i) with
             | Prog.For_time { var; count; body } when i = k ->
                 locked (fun () -> status.(sid).cur <- Some body_arr.(i));
+                Obs.Trace.instant tr ~tid ~cat:"exec"
+                  ~args:[ ("count", Obs.Trace.Int count) ]
+                  "for_time";
                 exec_for ~var ~count ~body ~from:start
             | instr -> exec instr
           done
@@ -1242,8 +1337,18 @@ let drive_domains st (b : Prog.block) master_env ~watchdog ~restore =
     | Error _ -> ()
 
 let run_block ?(sched = `Round_robin) ?stats ?fault ?(watchdog = 60.)
-    ?checkpoint_sink ?restore ~source ctx (b : Prog.block) =
-  let st = create_state ?stats ?fault ?ckpt_sink:checkpoint_sink ~source ctx b in
+    ?checkpoint_sink ?restore ?(trace = Obs.Trace.null) ~source ctx
+    (b : Prog.block) =
+  let st =
+    Obs.Trace.with_span trace ~tid:0 ~cat:"exec" "exec.analyze" (fun () ->
+        create_state ?stats ?fault ?ckpt_sink:checkpoint_sink ~trace ~source
+          ctx b)
+  in
+  if Obs.Trace.enabled trace then
+    for sid = 0 to b.Prog.shards - 1 do
+      Obs.Trace.set_thread_name trace ~tid:(shard_tid sid)
+        (Printf.sprintf "shard %d" sid)
+    done;
   let master_env = Interp.Run.env ctx in
   (match restore with
   | Some ck ->
@@ -1252,22 +1357,25 @@ let run_block ?(sched = `Round_robin) ?stats ?fault ?(watchdog = 60.)
       restore_state st master_env ck
   | None ->
       (* Initialization runs sequentially, outside the shards (Fig. 4d). *)
-      List.iter
-        (function
-          | Prog.Copy c -> master_copy st c
-          | Prog.Fill { part; fields; op } ->
-              let p = Program.find_partition source part in
-              for color = 0 to Partition.color_count p - 1 do
-                let inst = instance st part color in
-                List.iter
-                  (fun fld -> Physical.fill inst fld (Privilege.identity_of op))
-                  fields
-              done
-          | instr ->
-              invalid_arg
-                (Format.asprintf "Spmd.Exec: unsupported init instruction %a"
-                   Prog.pp_instr instr))
-        b.Prog.init);
+      Obs.Trace.with_span trace ~tid:0 ~cat:"exec" "exec.init" (fun () ->
+          List.iter
+            (function
+              | Prog.Copy c -> master_copy st c
+              | Prog.Fill { part; fields; op } ->
+                  let p = Program.find_partition source part in
+                  for color = 0 to Partition.color_count p - 1 do
+                    let inst = instance st part color in
+                    List.iter
+                      (fun fld ->
+                        Physical.fill inst fld (Privilege.identity_of op))
+                      fields
+                  done
+              | instr ->
+                  invalid_arg
+                    (Format.asprintf
+                       "Spmd.Exec: unsupported init instruction %a"
+                       Prog.pp_instr instr))
+            b.Prog.init));
   (* Shard streams. *)
   let drive_stepper rng =
     let start_idx, resume =
@@ -1353,17 +1461,19 @@ let run_block ?(sched = `Round_robin) ?stats ?fault ?(watchdog = 60.)
   | `Random seed -> drive_stepper (Some (Random.State.make [| seed |]))
   | `Domains -> drive_domains st b master_env ~watchdog ~restore);
   (* Finalization, sequential again. *)
-  List.iter
-    (function
-      | Prog.Copy c -> master_copy st c
-      | instr ->
-          invalid_arg
-            (Format.asprintf "Spmd.Exec: unsupported finalize instruction %a"
-               Prog.pp_instr instr))
-    b.Prog.finalize
+  Obs.Trace.with_span trace ~tid:0 ~cat:"exec" "exec.finalize" (fun () ->
+      List.iter
+        (function
+          | Prog.Copy c -> master_copy st c
+          | instr ->
+              invalid_arg
+                (Format.asprintf
+                   "Spmd.Exec: unsupported finalize instruction %a"
+                   Prog.pp_instr instr))
+        b.Prog.finalize)
 
-let run ?sched ?stats ?fault ?watchdog ?checkpoint_sink ?restore (t : Prog.t)
-    ctx =
+let run ?sched ?stats ?fault ?watchdog ?checkpoint_sink ?restore ?trace
+    (t : Prog.t) ctx =
   (* A restore resumes the program at its first replicated block: the
      sequential prefix ran before the checkpoint was taken and its effects
      (root instances, scalars) are part of the restored cut. *)
@@ -1375,5 +1485,5 @@ let run ?sched ?stats ?fault ?watchdog ?checkpoint_sink ?restore (t : Prog.t)
           let restore = if !restoring then restore else None in
           restoring := false;
           run_block ?sched ?stats ?fault ?watchdog ?checkpoint_sink ?restore
-            ~source:t.Prog.source ctx b)
+            ?trace ~source:t.Prog.source ctx b)
     t.Prog.items

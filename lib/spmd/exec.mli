@@ -47,7 +47,20 @@ type stats = {
   checkpoints : int Atomic.t;  (** checkpoints taken *)
 }
 
-val fresh_stats : unit -> stats
+val fresh_stats : ?registry:Obs.Metrics.t -> unit -> stats
+(** With [registry], the counter fields alias registry counters
+    ([exec.attempts], [exec.retries], [exec.injected], [exec.checkpoints])
+    and the intersection timings surface as [exec.isect.*] gauge views —
+    the record is then a compatibility view over the registry, and both
+    read the same numbers. *)
+
+val shard_tid : int -> int
+(** Trace tid of a shard's per-shard track (tids 0..9 are reserved for
+    driver and compile-pipeline spans). *)
+
+val instr_label : Prog.instr -> string
+(** Deterministic span label for an instruction — a function of the
+    instruction only, never of scheduling. *)
 
 val run :
   ?sched:sched ->
@@ -56,6 +69,7 @@ val run :
   ?watchdog:float ->
   ?checkpoint_sink:(Resilience.Checkpoint.t -> unit) ->
   ?restore:Resilience.Checkpoint.t ->
+  ?trace:Obs.Trace.t ->
   Prog.t ->
   Interp.Run.context ->
   unit
@@ -76,7 +90,13 @@ val run :
     [restore] resumes the program's first replicated block from a
     checkpoint: the sequential prefix and the block's initialization are
     skipped (their effects are part of the restored cut) and the block's
-    time loop resumes at [restore.iter + 1]. *)
+    time loop resumes at [restore.iter + 1].
+
+    [trace] records one wall-clock span per executed instruction on each
+    shard's track ({!shard_tid}), instant events for barrier arrivals,
+    channel-credit releases and collective deposits, plus analyze/init/
+    finalize spans on tid 0. The per-tid (phase, name) event sequences are
+    identical across all three schedulers. *)
 
 val run_block :
   ?sched:sched ->
@@ -85,6 +105,7 @@ val run_block :
   ?watchdog:float ->
   ?checkpoint_sink:(Resilience.Checkpoint.t -> unit) ->
   ?restore:Resilience.Checkpoint.t ->
+  ?trace:Obs.Trace.t ->
   source:Ir.Program.t ->
   Interp.Run.context ->
   Prog.block ->

@@ -9,8 +9,10 @@
 
      dune exec tools/chaos.exe -- [seconds] [start-seed]
 
-   A short run is wired into `dune runtest`; a clean run prints
-   `chaos done: ... 0 bad` and exits 0. *)
+   A short run is wired into `dune runtest`. Diagnostics go through the
+   level-filtered {!Obs.Log} logger: mismatches and deadlocks print at
+   error level, the final tally at info (set CRC_LOG=info to see it); a
+   clean run is silent and exits 0. *)
 
 open Regions
 open Ir
@@ -100,9 +102,8 @@ let () =
                       in
                       if got <> want then begin
                         incr bad;
-                        Printf.printf
-                          "MISMATCH seed=%d shards=%d policy=%s\n%!" s shards
-                          pname
+                        Obs.Log.err "MISMATCH seed=%d shards=%d policy=%s" s
+                          shards pname
                       end
                   | exception Resilience.Fault.Injected _ ->
                       (* The schedule exhausted a retry cap: a legitimate
@@ -110,15 +111,15 @@ let () =
                       incr killed
                   | exception Spmd.Exec.Deadlock d ->
                       incr bad;
-                      Printf.printf "DEADLOCK seed=%d shards=%d policy=%s:\n%s\n%!"
-                        s shards pname
+                      Obs.Log.err "DEADLOCK seed=%d shards=%d policy=%s:\n%s" s
+                        shards pname
                         (Resilience.Diag.to_string d)
                 end)
               [ `Round_robin; `Random ((s * 31) + shards); `Domains ])
           policies)
       [ 2; 3 ]
   done;
-  Printf.printf
-    "chaos done: seeds [%d..%d], %d runs, %d injected faults, %d killed, %d bad\n%!"
+  Obs.Log.info
+    "chaos done: seeds [%d..%d], %d runs, %d injected faults, %d killed, %d bad"
     seed0 (!seed - 1) !runs !faults !killed !bad;
   exit (if !bad > 0 then 1 else 0)

@@ -9,8 +9,9 @@
 
      dune exec tools/restart_demo.exe
 
-   Prints `restart demo: PASS` and exits 0 on success (wired into
-   `dune runtest`). *)
+   Exits 0 on success (wired into `dune runtest`); progress and the PASS
+   line go through {!Obs.Log} at info level (set CRC_LOG=info to see
+   them), failures print at error level. *)
 
 open Regions
 open Ir
@@ -51,11 +52,11 @@ let () =
        c2 ctx2
    with
   | () ->
-      prerr_endline "restart demo: run was expected to be killed";
+      Obs.Log.err "restart demo: run was expected to be killed";
       exit 1
   | exception Killed ->
-      Printf.printf
-        "killed after iteration 3 (latest checkpoint survives at %s)\n%!" path);
+      Obs.Log.info
+        "killed after iteration 3 (latest checkpoint survives at %s)" path);
   (* "Reboot": fresh program instance and context, resume from disk under
      real domains. *)
   let ck = Resilience.Checkpoint.load ~path in
@@ -68,12 +69,12 @@ let () =
     (region_data ctx3 p3, List.sort compare (Interp.Run.scalars ctx3))
   in
   if got = want then begin
-    Printf.printf
-      "restart demo: PASS (resumed at iteration %d, results bit-identical)\n%!"
+    Obs.Log.info
+      "restart demo: PASS (resumed at iteration %d, results bit-identical)"
       (ck.Resilience.Checkpoint.iter + 1);
     exit 0
   end
   else begin
-    prerr_endline "restart demo: FAIL (resumed run diverged)";
+    Obs.Log.err "restart demo: FAIL (resumed run diverged)";
     exit 1
   end
