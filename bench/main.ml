@@ -12,11 +12,26 @@
      trees.
    - A Bechamel microbenchmark suite with one test per figure/table.
 
-   Pass --fast to sweep fewer node counts, --no-bechamel to skip the
-   microbenchmarks. *)
+   - §Data plane (PR3): compiled copy plans vs the per-element baseline,
+     bulk accessor kernels vs per-element get/set, and the partition-pair
+     intersection cache, cold vs cached.
 
-let fast = Array.exists (( = ) "--fast") Sys.argv
+   Pass --fast to sweep fewer node counts, --no-bechamel to skip the
+   microbenchmarks, --quick to run only the data-plane section (CI smoke:
+   writes the artifact, then schema-checks it and exits non-zero on
+   failure), --out PATH to redirect the JSON artifact. *)
+
+let quick = Array.exists (( = ) "--quick") Sys.argv
+let fast = quick || Array.exists (( = ) "--fast") Sys.argv
 let no_bechamel = Array.exists (( = ) "--no-bechamel") Sys.argv
+
+let json_path =
+  let rec find i =
+    if i + 1 >= Array.length Sys.argv then None
+    else if Sys.argv.(i) = "--out" then Some Sys.argv.(i + 1)
+    else find (i + 1)
+  in
+  Option.value (find 1) ~default:"BENCH_pr3.json"
 
 let node_counts =
   if fast then [ 1; 4; 16; 64 ]
@@ -27,12 +42,13 @@ let table1_nodes = if fast then [ 16; 64 ] else [ 64; 1024 ]
 let header title = Printf.printf "\n=== %s ===\n%!" title
 
 (* Machine-readable results, accumulated as sections run and written to
-   BENCH_pr2.json at the end (schema "crc-bench/1"). *)
+   BENCH_pr3.json at the end (schema "crc-bench/1"). *)
 let registry = Obs.Metrics.create ()
 let json_figures : Obs.Json.t list ref = ref []
 let json_table1 : Obs.Json.t list ref = ref []
 let json_ablations : Obs.Json.t ref = ref Obs.Json.Null
 let json_resilience : Obs.Json.t list ref = ref []
+let json_data_plane : Obs.Json.t ref = ref Obs.Json.Null
 
 (* ---------- weak scaling sweeps (Figures 6-9) ---------- *)
 
@@ -215,35 +231,62 @@ let fig9 () =
 
 (* ---------- Table 1: dynamic intersection times ---------- *)
 
+(* Partition pairs of every sparse copy of the compiled program. *)
+let sparse_pairs compiled =
+  List.concat_map
+    (function
+      | Spmd.Prog.Replicated b ->
+          List.filter_map
+            (fun (c : Spmd.Prog.copy) ->
+              match (c.Spmd.Prog.src, c.Spmd.Prog.dst) with
+              | Spmd.Prog.Opart ps, Spmd.Prog.Opart pd ->
+                  Some
+                    ( Ir.Program.find_partition compiled.Spmd.Prog.source ps,
+                      Ir.Program.find_partition compiled.Spmd.Prog.source pd )
+              | _ -> None)
+            b.Spmd.Prog.copies
+      | Spmd.Prog.Seq _ -> [])
+    compiled.Spmd.Prog.items
+
 (* Run the dynamic analysis for every sparse copy of the compiled program,
    accumulating shallow and complete times (§3.3). *)
 let measure_intersections prog shards =
   let compiled = Cr.Pipeline.compile (Cr.Pipeline.default ~shards) prog in
   let stats = Spmd.Intersections.fresh_stats () in
   List.iter
-    (function
-      | Spmd.Prog.Replicated b ->
-          List.iter
-            (fun (c : Spmd.Prog.copy) ->
-              match (c.Spmd.Prog.src, c.Spmd.Prog.dst) with
-              | Spmd.Prog.Opart ps, Spmd.Prog.Opart pd ->
-                  ignore
-                    (Spmd.Intersections.compute ~stats
-                       ~src:
-                         (Ir.Program.find_partition compiled.Spmd.Prog.source ps)
-                       ~dst:
-                         (Ir.Program.find_partition compiled.Spmd.Prog.source pd)
-                       ())
-              | _ -> ())
-            b.Spmd.Prog.copies
-      | Spmd.Prog.Seq _ -> ())
-    compiled.Spmd.Prog.items;
+    (fun (src, dst) -> ignore (Spmd.Intersections.compute ~stats ~src ~dst ()))
+    (sparse_pairs compiled);
   stats
+
+(* The same pass through the partition-pair cache: one cold pass (misses,
+   computed and inserted) and one hot pass (pure lookups). *)
+let measure_cached prog shards =
+  let compiled = Cr.Pipeline.compile (Cr.Pipeline.default ~shards) prog in
+  let pairs = sparse_pairs compiled in
+  Spmd.Intersections.clear_cache ();
+  let stats = Spmd.Intersections.fresh_stats () in
+  let pass () =
+    List.iter
+      (fun (src, dst) ->
+        ignore (Spmd.Intersections.compute_cached ~stats ~src ~dst ()))
+      pairs
+  in
+  let t0 = Unix.gettimeofday () in
+  pass ();
+  let cold = Unix.gettimeofday () -. t0 in
+  let reps = 10 in
+  let t1 = Unix.gettimeofday () in
+  for _ = 1 to reps do
+    pass ()
+  done;
+  let cached = (Unix.gettimeofday () -. t1) /. float_of_int reps in
+  (cold, cached, stats.Spmd.Intersections.cache_hits)
 
 let table1 () =
   header "Table 1: dynamic region intersection times";
-  Printf.printf "%10s %6s %12s %12s %12s %12s\n" "app" "nodes" "shallow(ms)"
-    "complete(ms)" "candidates" "non-empty";
+  Printf.printf "%10s %6s %12s %12s %12s %12s %10s %10s\n" "app" "nodes"
+    "shallow(ms)" "complete(ms)" "candidates" "non-empty" "cold(ms)"
+    "cached(ms)";
   let apps =
     [
       ( "Circuit",
@@ -260,11 +303,13 @@ let table1 () =
       List.iter
         (fun n ->
           let stats = measure_intersections (mk n) n in
-          Printf.printf "%10s %6d %12.2f %12.2f %12d %12d\n%!" name n
+          let cold, cached, hits = measure_cached (mk n) n in
+          Printf.printf "%10s %6d %12.2f %12.2f %12d %12d %10.2f %10.4f\n%!"
+            name n
             (stats.Spmd.Intersections.shallow_s *. 1e3)
             (stats.Spmd.Intersections.complete_s *. 1e3)
             stats.Spmd.Intersections.candidates
-            stats.Spmd.Intersections.nonempty;
+            stats.Spmd.Intersections.nonempty (cold *. 1e3) (cached *. 1e3);
           json_table1 :=
             !json_table1
             @ [
@@ -281,6 +326,9 @@ let table1 () =
                     ( "candidates",
                       Obs.Json.Int stats.Spmd.Intersections.candidates );
                     ("nonempty", Obs.Json.Int stats.Spmd.Intersections.nonempty);
+                    ("cold_ms", Obs.Json.Float (cold *. 1e3));
+                    ("cached_ms", Obs.Json.Float (cached *. 1e3));
+                    ("cache_hits", Obs.Json.Int hits);
                   ];
               ])
         table1_nodes)
@@ -570,6 +618,192 @@ let resilience_overhead () =
       ("checkpoint every iteration", fun () -> run ~checkpoint:1 ());
     ]
 
+(* ---------- §Data plane: plans, bulk accessors, intersection cache ---------- *)
+
+let time_per_run ~reps f =
+  ignore (f ());
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to reps do
+    ignore (f ())
+  done;
+  (Unix.gettimeofday () -. t0) /. float_of_int reps
+
+(* Ghost exchange between neighbouring structured tiles: the left tile's
+   instance feeds a halo slab owned by its neighbour — the copy shape the
+   SPMD executor replays every time step. [`Rows] slabs cut across the slow
+   axis (full-row runs, the stencil x-halo); [`Cols] slabs cut the fast
+   axis (short runs, the y-halo — the plan's worst case). *)
+let copy_microbench shape =
+  let open Geometry in
+  let open Regions in
+  let fa = Field.make "dp_a" and fb = Field.make "dp_b" in
+  let fl = [ fa; fb ] in
+  let side = 512 in
+  let depth = 8 in
+  let u = Rect.make2 ~lo:(0, 0) ~hi:((side - 1), (side - 1)) in
+  let half = side / 2 in
+  let tile =
+    Index_space.of_rects ~universe:u
+      [ Rect.make2 ~lo:(0, 0) ~hi:(half - 1, side - 1) ]
+  in
+  let halo_rect =
+    match shape with
+    | `Rows -> Rect.make2 ~lo:(half - depth, 0) ~hi:(half + depth - 1, side - 1)
+    | `Cols -> Rect.make2 ~lo:(0, half - depth) ~hi:(side - 1, half + depth - 1)
+  in
+  let halo = Index_space.of_rects ~universe:u [ halo_rect ] in
+  let src = Physical.create_over tile fl in
+  let dst = Physical.create_over halo fl in
+  List.iter (fun f -> Physical.fill src f 1.5) fl;
+  let volume =
+    Index_space.cardinal (Index_space.inter tile halo) * List.length fl
+  in
+  let reps_scalar = if fast then 20 else 100 in
+  let reps_plan = reps_scalar * 10 in
+  let scalar_s =
+    time_per_run ~reps:reps_scalar (fun () ->
+        Physical.copy_into ~fields:fl ~src ~dst ())
+  in
+  let plan = Spmd.Copy_plan.build ~src ~dst ~fields:fl () in
+  let plan_s =
+    time_per_run ~reps:reps_plan (fun () -> Spmd.Copy_plan.copy plan ~src ~dst)
+  in
+  let scalar_red_s =
+    time_per_run ~reps:reps_scalar (fun () ->
+        Physical.reduce_into ~op:Privilege.Sum ~fields:fl ~src ~dst ())
+  in
+  let plan_red_s =
+    time_per_run ~reps:reps_plan (fun () ->
+        Spmd.Copy_plan.reduce plan ~op:Privilege.Sum ~src ~dst)
+  in
+  (volume, Spmd.Copy_plan.nruns plan, scalar_s, plan_s, scalar_red_s, plan_red_s)
+
+(* Per-element [Accessor.get]/[set] vs the hoisted bulk closures over the
+   same full-view instance — the saxpy-shaped loop every app kernel runs. *)
+let kernel_microbench () =
+  let open Geometry in
+  let open Regions in
+  let fx = Field.make "dp_x" and fy = Field.make "dp_y" in
+  let side = 512 in
+  let space = Index_space.of_rect (Rect.make2 ~lo:(0, 0) ~hi:(side - 1, side - 1)) in
+  let inst = Physical.create_over space [ fx; fy ] in
+  Physical.fill inst fx 2.0;
+  let acc =
+    Accessor.make inst ~space [ Privilege.reads fx; Privilege.writes fy ]
+  in
+  let n = Index_space.cardinal space in
+  let reps = if fast then 20 else 100 in
+  let scalar_s =
+    time_per_run ~reps (fun () ->
+        Accessor.iter acc (fun id ->
+            Accessor.set acc fy id ((2.5 *. Accessor.get acc fx id) +. 1.)))
+  in
+  let bulk_s =
+    time_per_run ~reps (fun () ->
+        let rx = Accessor.reader acc fx and wy = Accessor.writer acc fy in
+        Accessor.iter_runs acc (fun lo hi ->
+            for id = lo to hi do
+              wy id ((2.5 *. rx id) +. 1.)
+            done))
+  in
+  (n, scalar_s, bulk_s)
+
+(* Cold vs cached dynamic analysis on Circuit's shr -> ghost exchange (the
+   partition pair Table 1 measures), through the partition-pair cache. *)
+let isect_cold_cached () =
+  let nodes = 16 in
+  let prog = Apps.Circuit.program (Apps.Circuit.sim_config ~nodes) in
+  let compiled = Cr.Pipeline.compile (Cr.Pipeline.default ~shards:nodes) prog in
+  let src = Ir.Program.find_partition compiled.Spmd.Prog.source "shr"
+  and dst = Ir.Program.find_partition compiled.Spmd.Prog.source "ghost" in
+  Spmd.Intersections.clear_cache ();
+  let stats = Spmd.Intersections.fresh_stats () in
+  let t0 = Unix.gettimeofday () in
+  ignore (Spmd.Intersections.compute_cached ~stats ~src ~dst ());
+  let cold = Unix.gettimeofday () -. t0 in
+  let reps = 1000 in
+  let t1 = Unix.gettimeofday () in
+  for _ = 1 to reps do
+    ignore (Spmd.Intersections.compute_cached ~stats ~src ~dst ())
+  done;
+  let cached = (Unix.gettimeofday () -. t1) /. float_of_int reps in
+  (cold, cached, stats.Spmd.Intersections.cache_hits)
+
+let data_plane () =
+  header "Data plane: copy plans, bulk accessors, intersection cache";
+  let copy_case name shape =
+    let volume, nruns, scalar_s, plan_s, scalar_red_s, plan_red_s =
+      copy_microbench shape
+    in
+    let speedup = scalar_s /. plan_s in
+    let red_speedup = scalar_red_s /. plan_red_s in
+    Printf.printf
+      "%-22s %8d elems %6d runs  copy %10.1f -> %10.1f Melem/s (%5.1fx)  reduce %9.1f -> %9.1f Melem/s (%5.1fx)\n%!"
+      name volume nruns
+      (float_of_int volume /. scalar_s /. 1e6)
+      (float_of_int volume /. plan_s /. 1e6)
+      speedup
+      (float_of_int volume /. scalar_red_s /. 1e6)
+      (float_of_int volume /. plan_red_s /. 1e6)
+      red_speedup;
+    ( Obs.Json.Obj
+        [
+          ("case", Obs.Json.Str name);
+          ("volume_elems", Obs.Json.Int volume);
+          ("runs", Obs.Json.Int nruns);
+          ("scalar_s_per_copy", Obs.Json.Float scalar_s);
+          ("plan_s_per_copy", Obs.Json.Float plan_s);
+          ("copy_speedup", Obs.Json.Float speedup);
+          ("scalar_s_per_reduce", Obs.Json.Float scalar_red_s);
+          ("plan_s_per_reduce", Obs.Json.Float plan_red_s);
+          ("reduce_speedup", Obs.Json.Float red_speedup);
+        ],
+      speedup )
+  in
+  let ghost, ghost_speedup = copy_case "ghost-exchange(rows)" `Rows in
+  let ghost_cols, _ = copy_case "ghost-exchange(cols)" `Cols in
+  let n, scalar_s, bulk_s = kernel_microbench () in
+  let kernel_speedup = scalar_s /. bulk_s in
+  Printf.printf
+    "%-22s %8d elems            saxpy %9.1f -> %10.1f Melem/s (%5.1fx)\n%!"
+    "kernel(bulk accessor)" n
+    (float_of_int n /. scalar_s /. 1e6)
+    (float_of_int n /. bulk_s /. 1e6)
+    kernel_speedup;
+  let cold, cached, hits = isect_cold_cached () in
+  let isect_speedup = cold /. cached in
+  Printf.printf
+    "%-22s cold %8.3f ms -> cached %8.5f ms (%7.1fx, %d hits)\n%!"
+    "intersections(circuit)" (cold *. 1e3) (cached *. 1e3) isect_speedup hits;
+  List.iter
+    (fun (k, v) -> Obs.Metrics.set registry ("bench.data_plane." ^ k) v)
+    [
+      ("copy_speedup", ghost_speedup);
+      ("isect_speedup", isect_speedup);
+      ("kernel_speedup", kernel_speedup);
+    ];
+  json_data_plane :=
+    Obs.Json.Obj
+      [
+        ("copy", Obs.Json.List [ ghost; ghost_cols ]);
+        ( "kernel",
+          Obs.Json.Obj
+            [
+              ("elems", Obs.Json.Int n);
+              ("scalar_s", Obs.Json.Float scalar_s);
+              ("bulk_s", Obs.Json.Float bulk_s);
+              ("speedup", Obs.Json.Float kernel_speedup);
+            ] );
+        ( "intersections",
+          Obs.Json.Obj
+            [
+              ("cold_ms", Obs.Json.Float (cold *. 1e3));
+              ("cached_ms", Obs.Json.Float (cached *. 1e3));
+              ("speedup", Obs.Json.Float isect_speedup);
+              ("cache_hits", Obs.Json.Int hits);
+            ] );
+      ]
+
 (* ---------- Bechamel microbenchmarks ---------- *)
 
 let bechamel_suite () =
@@ -631,20 +865,20 @@ let bechamel_suite () =
 
 (* ---------- machine-readable artifact ---------- *)
 
-let json_path = "BENCH_pr2.json"
-
 let write_json () =
   let j =
     Obs.Json.Obj
       [
         ("schema", Obs.Json.Str "crc-bench/1");
         ("fast", Obs.Json.Bool fast);
+        ("quick", Obs.Json.Bool quick);
         ( "node_counts",
           Obs.Json.List (List.map (fun n -> Obs.Json.Int n) node_counts) );
         ("figures", Obs.Json.List !json_figures);
         ("table1", Obs.Json.List !json_table1);
         ("ablations", !json_ablations);
         ("resilience_overhead", Obs.Json.List !json_resilience);
+        ("data_plane", !json_data_plane);
         ("metrics", Obs.Metrics.to_json registry);
       ]
   in
@@ -654,14 +888,74 @@ let write_json () =
   close_out oc;
   Printf.printf "\nwrote %s\n" json_path
 
+(* Read the artifact back and check schema + the PR3 acceptance thresholds
+   (copy plans >= 5x the per-element baseline, cached intersections >= 10x
+   cold). Exits non-zero on failure — the CI smoke gate. *)
+let self_check () =
+  let fail msg =
+    Printf.eprintf "bench artifact check FAILED: %s\n%!" msg;
+    exit 1
+  in
+  let s =
+    let ic = open_in json_path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  in
+  let j =
+    match Obs.Json.of_string s with
+    | Ok j -> j
+    | Error e -> fail ("unparseable artifact: " ^ e)
+  in
+  (match Option.bind (Obs.Json.member "schema" j) Obs.Json.string_value with
+  | Some "crc-bench/1" -> ()
+  | _ -> fail "schema is not crc-bench/1");
+  List.iter
+    (fun k ->
+      if Obs.Json.member k j = None then fail (Printf.sprintf "missing key %S" k))
+    [ "figures"; "table1"; "ablations"; "resilience_overhead"; "data_plane"; "metrics" ];
+  let dp =
+    match Obs.Json.member "data_plane" j with
+    | Some (Obs.Json.Obj _ as d) -> d
+    | _ -> fail "data_plane section missing or not an object"
+  in
+  let num path v =
+    match Option.bind v Obs.Json.number with
+    | Some x -> x
+    | None -> fail (Printf.sprintf "missing number %s" path)
+  in
+  let copy_speedup =
+    match Option.bind (Obs.Json.member "copy" dp) Obs.Json.to_list with
+    | Some (first :: _) ->
+        num "data_plane.copy[0].copy_speedup"
+          (Obs.Json.member "copy_speedup" first)
+    | _ -> fail "data_plane.copy is empty"
+  in
+  let isect_speedup =
+    num "data_plane.intersections.speedup"
+      (Option.bind (Obs.Json.member "intersections" dp) (Obs.Json.member "speedup"))
+  in
+  if copy_speedup < 5. then
+    fail (Printf.sprintf "copy plan speedup %.2fx < 5x" copy_speedup);
+  if isect_speedup < 10. then
+    fail (Printf.sprintf "cached intersection speedup %.2fx < 10x" isect_speedup);
+  Printf.printf
+    "artifact %s: schema + thresholds OK (copy %.1fx, intersections %.1fx)\n%!"
+    json_path copy_speedup isect_speedup
+
 let () =
-  fig6 ();
-  fig7 ();
-  fig8 ();
-  fig9 ();
-  table1 ();
-  ablations ();
-  resilience_overhead ();
-  if not no_bechamel then bechamel_suite ();
+  if not quick then begin
+    fig6 ();
+    fig7 ();
+    fig8 ();
+    fig9 ();
+    table1 ();
+    ablations ();
+    resilience_overhead ()
+  end;
+  data_plane ();
+  if not (quick || no_bechamel) then bechamel_suite ();
   write_json ();
+  self_check ();
   Printf.printf "\nAll experiments complete.\n"

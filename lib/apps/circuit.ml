@@ -181,16 +181,14 @@ let program cfg =
         Partition.block ~name rw ~pieces:g.pieces)
   in
   Program.Builder.space b ~name:"P" g.pieces;
-  (* Endpoint voltage lookup through whichever node argument covers it. *)
-  let lookup field accs n =
-    let rec go k =
-      if k > 3 then
-        invalid_arg (Printf.sprintf "circuit: node %d not covered" n)
-      else if Index_space.mem (Accessor.space accs.(k)) n then
-        Accessor.get accs.(k) field n
-      else go (k + 1)
-    in
-    go 1
+  (* Endpoint dispatch through whichever node argument covers it: the three
+     per-field closures are hoisted per task execution, so the per-wire
+     work is the O(1) membership probes plus one closure call. *)
+  let covering accs f n =
+    if Accessor.mem accs.(1) n then f.(0) n
+    else if Accessor.mem accs.(2) n then f.(1) n
+    else if Accessor.mem accs.(3) n then f.(2) n
+    else invalid_arg (Printf.sprintf "circuit: node %d not covered" n)
   in
   let calc_new_currents =
     Task.make ~name:"calc_new_currents"
@@ -213,23 +211,22 @@ let program cfg =
       ~cost:(fun sizes -> float_of_int sizes.(0) *. currents_seconds_per_wire)
       (fun accs _ ->
         let w = accs.(0) in
-        Accessor.iter w (fun id ->
-            let nin = int_of_float (Accessor.get w fnin id)
-            and nout = int_of_float (Accessor.get w fnout id) in
-            let vin = lookup fvolt accs nin
-            and vout = lookup fvolt accs nout in
-            Accessor.set w fcur id ((vin -. vout) /. Accessor.get w fres id));
+        let rnin = Accessor.reader w fnin
+        and rnout = Accessor.reader w fnout
+        and rres = Accessor.reader w fres
+        and wcur = Accessor.writer w fcur in
+        let volt =
+          Array.map (fun k -> Accessor.reader accs.(k) fvolt) [| 1; 2; 3 |]
+        in
+        Accessor.iter_runs w (fun lo hi ->
+            for id = lo to hi do
+              let nin = int_of_float (rnin id)
+              and nout = int_of_float (rnout id) in
+              let vin = covering accs volt nin
+              and vout = covering accs volt nout in
+              wcur id ((vin -. vout) /. rres id)
+            done);
         0.)
-  in
-  let deposit accs n dq =
-    let rec go k =
-      if k > 3 then
-        invalid_arg (Printf.sprintf "circuit: node %d not covered" n)
-      else if Index_space.mem (Accessor.space accs.(k)) n then
-        Accessor.reduce accs.(k) fcharge n dq
-      else go (k + 1)
-    in
-    go 1
   in
   let distribute_charge =
     Task.make ~name:"distribute_charge"
@@ -247,12 +244,20 @@ let program cfg =
       ~cost:(fun sizes -> float_of_int sizes.(0) *. charge_seconds_per_wire)
       (fun accs _ ->
         let w = accs.(0) in
-        Accessor.iter w (fun id ->
-            let nin = int_of_float (Accessor.get w fnin id)
-            and nout = int_of_float (Accessor.get w fnout id) in
-            let dq = dt *. Accessor.get w fcur id in
-            deposit accs nin (-.dq);
-            deposit accs nout dq);
+        let rnin = Accessor.reader w fnin
+        and rnout = Accessor.reader w fnout
+        and rcur = Accessor.reader w fcur in
+        let dep =
+          Array.map (fun k -> Accessor.reducer accs.(k) fcharge) [| 1; 2; 3 |]
+        in
+        Accessor.iter_runs w (fun lo hi ->
+            for id = lo to hi do
+              let nin = int_of_float (rnin id)
+              and nout = int_of_float (rnout id) in
+              let dq = dt *. rcur id in
+              covering accs dep nin (-.dq);
+              covering accs dep nout dq
+            done);
         0.)
   in
   let update_voltage =
@@ -275,11 +280,16 @@ let program cfg =
       (fun accs _ ->
         Array.iter
           (fun acc ->
-            Accessor.iter acc (fun id ->
-                let q = Accessor.get acc fcharge id in
-                Accessor.set acc fvolt id
-                  (Accessor.get acc fvolt id +. (q /. Accessor.get acc fcap id));
-                Accessor.set acc fcharge id 0.))
+            let rvolt = Accessor.reader acc fvolt
+            and wvolt = Accessor.writer acc fvolt
+            and rq = Accessor.reader acc fcharge
+            and wq = Accessor.writer acc fcharge
+            and rcap = Accessor.reader acc fcap in
+            Accessor.iter_runs acc (fun lo hi ->
+                for id = lo to hi do
+                  wvolt id (rvolt id +. (rq id /. rcap id));
+                  wq id 0.
+                done))
           accs;
         0.)
   in
@@ -294,11 +304,15 @@ let program cfg =
           };
         ]
       (fun accs _ ->
-        Accessor.iter accs.(0) (fun id ->
-            Accessor.set accs.(0) fvolt id
-              (float_of_int ((id * 37) mod 101) /. 101.);
-            Accessor.set accs.(0) fcharge id 0.;
-            Accessor.set accs.(0) fcap id (1. +. (float_of_int (id mod 7) *. 0.1)));
+        let wvolt = Accessor.writer accs.(0) fvolt
+        and wq = Accessor.writer accs.(0) fcharge
+        and wcap = Accessor.writer accs.(0) fcap in
+        Accessor.iter_runs accs.(0) (fun lo hi ->
+            for id = lo to hi do
+              wvolt id (float_of_int ((id * 37) mod 101) /. 101.);
+              wq id 0.;
+              wcap id (1. +. (float_of_int (id mod 7) *. 0.1))
+            done);
         0.)
   in
   let init_wires =
@@ -317,12 +331,17 @@ let program cfg =
           };
         ]
       (fun accs _ ->
-        Accessor.iter accs.(0) (fun id ->
-            Accessor.set accs.(0) fcur id 0.;
-            Accessor.set accs.(0) fres id
-              (1. +. (float_of_int (id mod 13) *. 0.05));
-            Accessor.set accs.(0) fnin id (float_of_int g.win.(id));
-            Accessor.set accs.(0) fnout id (float_of_int g.wout.(id)));
+        let wcur = Accessor.writer accs.(0) fcur
+        and wres = Accessor.writer accs.(0) fres
+        and wnin = Accessor.writer accs.(0) fnin
+        and wnout = Accessor.writer accs.(0) fnout in
+        Accessor.iter_runs accs.(0) (fun lo hi ->
+            for id = lo to hi do
+              wcur id 0.;
+              wres id (1. +. (float_of_int (id mod 13) *. 0.05));
+              wnin id (float_of_int g.win.(id));
+              wnout id (float_of_int g.wout.(id))
+            done);
         0.)
   in
   Program.Builder.task b calc_new_currents;

@@ -226,17 +226,23 @@ let program cfg =
       ~cost:(fun sizes -> float_of_int sizes.(0) *. flux_seconds_per_face)
       (fun accs _ ->
         let fs = accs.(0) and own = accs.(1) and halo = accs.(2) in
-        let state field c =
-          if Index_space.mem (Accessor.space own) c then Accessor.get own field c
-          else Accessor.get halo field c
-        in
-        Accessor.iter fs (fun f ->
-            let lc = int_of_float (Accessor.get fs flc f)
-            and rc = int_of_float (Accessor.get fs frc f) in
-            (* Central flux: conservative by construction. *)
-            Accessor.set fs fflux_rho f
-              (0.5 *. (state frho lc +. state frho rc));
-            Accessor.set fs fflux_e f (0.5 *. (state fe lc +. state fe rc)));
+        let rlc = Accessor.reader fs flc
+        and rrc = Accessor.reader fs frc
+        and wfrho = Accessor.writer fs fflux_rho
+        and wfe = Accessor.writer fs fflux_e in
+        let rho_own = Accessor.reader own frho
+        and rho_halo = Accessor.reader halo frho
+        and e_own = Accessor.reader own fe
+        and e_halo = Accessor.reader halo fe in
+        let rho c = if Accessor.mem own c then rho_own c else rho_halo c
+        and energy c = if Accessor.mem own c then e_own c else e_halo c in
+        Accessor.iter_runs fs (fun lo hi ->
+            for f = lo to hi do
+              let lc = int_of_float (rlc f) and rc = int_of_float (rrc f) in
+              (* Central flux: conservative by construction. *)
+              wfrho f (0.5 *. (rho lc +. rho rc));
+              wfe f (0.5 *. (energy lc +. energy rc))
+            done);
         0.)
   in
   let residual =
@@ -264,24 +270,33 @@ let program cfg =
       ~cost:(fun sizes -> float_of_int sizes.(1) *. residual_seconds_per_face)
       (fun accs _ ->
         let cs = accs.(0) in
-        Accessor.iter cs (fun c ->
-            Accessor.set cs frrho c 0.;
-            Accessor.set cs fre c 0.);
-        let own c = Index_space.mem (Accessor.space cs) c in
+        let rrrho = Accessor.reader cs frrho
+        and rre = Accessor.reader cs fre
+        and wrrho = Accessor.writer cs frrho
+        and wre = Accessor.writer cs fre in
+        Accessor.iter_runs cs (fun lo hi ->
+            for c = lo to hi do
+              wrrho c 0.;
+              wre c 0.
+            done);
         let gather fs =
-          Accessor.iter fs (fun f ->
-              let lc = int_of_float (Accessor.get fs flc f)
-              and rc = int_of_float (Accessor.get fs frc f) in
-              let fr = Accessor.get fs fflux_rho f
-              and fen = Accessor.get fs fflux_e f in
-              if own lc then begin
-                Accessor.set cs frrho lc (Accessor.get cs frrho lc -. fr);
-                Accessor.set cs fre lc (Accessor.get cs fre lc -. fen)
-              end;
-              if own rc then begin
-                Accessor.set cs frrho rc (Accessor.get cs frrho rc +. fr);
-                Accessor.set cs fre rc (Accessor.get cs fre rc +. fen)
-              end)
+          let rlc = Accessor.reader fs flc
+          and rrc = Accessor.reader fs frc
+          and rfrho = Accessor.reader fs fflux_rho
+          and rfe = Accessor.reader fs fflux_e in
+          Accessor.iter_runs fs (fun lo hi ->
+              for f = lo to hi do
+                let lc = int_of_float (rlc f) and rc = int_of_float (rrc f) in
+                let fr = rfrho f and fen = rfe f in
+                if Accessor.mem cs lc then begin
+                  wrrho lc (rrrho lc -. fr);
+                  wre lc (rre lc -. fen)
+                end;
+                if Accessor.mem cs rc then begin
+                  wrrho rc (rrrho rc +. fr);
+                  wre rc (rre rc +. fen)
+                end
+              done)
         in
         gather accs.(1);
         gather accs.(2);
@@ -308,12 +323,17 @@ let program cfg =
       ~cost:(fun sizes -> float_of_int sizes.(0) *. update_seconds_per_cell)
       (fun accs _ ->
         let cs = accs.(0) in
-        Accessor.iter cs (fun c ->
-            Accessor.set cs frho c
-              (Accessor.get cs frho0 c
-              +. (alpha *. dt *. Accessor.get cs frrho c));
-            Accessor.set cs fe c
-              (Accessor.get cs fe0 c +. (alpha *. dt *. Accessor.get cs fre c)));
+        let rrho0 = Accessor.reader cs frho0
+        and re0 = Accessor.reader cs fe0
+        and rrrho = Accessor.reader cs frrho
+        and rre = Accessor.reader cs fre
+        and wrho = Accessor.writer cs frho
+        and we = Accessor.writer cs fe in
+        Accessor.iter_runs cs (fun lo hi ->
+            for c = lo to hi do
+              wrho c (rrho0 c +. (alpha *. dt *. rrrho c));
+              we c (re0 c +. (alpha *. dt *. rre c))
+            done);
         0.)
   in
   let save_state =
@@ -334,9 +354,15 @@ let program cfg =
       ~cost:(fun sizes -> float_of_int sizes.(0) *. save_seconds_per_cell)
       (fun accs _ ->
         let cs = accs.(0) in
-        Accessor.iter cs (fun c ->
-            Accessor.set cs frho0 c (Accessor.get cs frho c);
-            Accessor.set cs fe0 c (Accessor.get cs fe c));
+        let rrho = Accessor.reader cs frho
+        and re = Accessor.reader cs fe
+        and wrho0 = Accessor.writer cs frho0
+        and we0 = Accessor.writer cs fe0 in
+        Accessor.iter_runs cs (fun lo hi ->
+            for c = lo to hi do
+              wrho0 c (rrho c);
+              we0 c (re c)
+            done);
         0.)
   in
   let init_cells =
@@ -357,15 +383,17 @@ let program cfg =
           };
         ]
       (fun accs _ ->
-        Accessor.iter accs.(0) (fun c ->
-            Accessor.set accs.(0) frho c
-              (1. +. (0.1 *. float_of_int ((c * 13) mod 17) /. 17.));
-            Accessor.set accs.(0) fe c
-              (2.5 +. (0.2 *. float_of_int ((c * 7) mod 23) /. 23.));
-            Accessor.set accs.(0) frho0 c 0.;
-            Accessor.set accs.(0) fe0 c 0.;
-            Accessor.set accs.(0) frrho c 0.;
-            Accessor.set accs.(0) fre c 0.);
+        let cs = accs.(0) in
+        let w = Array.map (Accessor.writer cs) [| frho; fe; frho0; fe0; frrho; fre |] in
+        Accessor.iter_runs cs (fun lo hi ->
+            for c = lo to hi do
+              w.(0) c (1. +. (0.1 *. float_of_int ((c * 13) mod 17) /. 17.));
+              w.(1) c (2.5 +. (0.2 *. float_of_int ((c * 7) mod 23) /. 23.));
+              w.(2) c 0.;
+              w.(3) c 0.;
+              w.(4) c 0.;
+              w.(5) c 0.
+            done);
         0.)
   in
   let init_faces =
@@ -384,11 +412,18 @@ let program cfg =
           };
         ]
       (fun accs _ ->
-        Accessor.iter accs.(0) (fun f ->
-            Accessor.set accs.(0) fflux_rho f 0.;
-            Accessor.set accs.(0) fflux_e f 0.;
-            Accessor.set accs.(0) flc f (float_of_int m.face_lc.(f));
-            Accessor.set accs.(0) frc f (float_of_int m.face_rc.(f)));
+        let fs = accs.(0) in
+        let wfrho = Accessor.writer fs fflux_rho
+        and wfe = Accessor.writer fs fflux_e
+        and wlc = Accessor.writer fs flc
+        and wrc = Accessor.writer fs frc in
+        Accessor.iter_runs fs (fun lo hi ->
+            for f = lo to hi do
+              wfrho f 0.;
+              wfe f 0.;
+              wlc f (float_of_int m.face_lc.(f));
+              wrc f (float_of_int m.face_rc.(f))
+            done);
         0.)
   in
   Program.Builder.task b compute_flux;

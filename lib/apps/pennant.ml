@@ -191,26 +191,13 @@ let program cfg =
   Program.Builder.space b ~name:"P" m.pieces;
   Program.Builder.scalar b ~name:"dt" 1e-3;
   let corner_sign = [| (-1., -1.); (1., -1.); (-1., 1.); (1., 1.) |] in
-  (* Position/force lookup through pvt, shr or ghost (arguments 1-3). *)
-  let lookup field accs n =
-    let rec go k =
-      if k > 3 then
-        invalid_arg (Printf.sprintf "pennant: point %d not covered" n)
-      else if Index_space.mem (Accessor.space accs.(k)) n then
-        Accessor.get accs.(k) field n
-      else go (k + 1)
-    in
-    go 1
-  in
-  let deposit field accs n v =
-    let rec go k =
-      if k > 3 then
-        invalid_arg (Printf.sprintf "pennant: point %d not covered" n)
-      else if Index_space.mem (Accessor.space accs.(k)) n then
-        Accessor.reduce accs.(k) field n v
-      else go (k + 1)
-    in
-    go 1
+  (* Point dispatch through pvt, shr or ghost (arguments 1-3): hoisted
+     per-field closures selected by O(1) membership probes. *)
+  let covering accs f n =
+    if Accessor.mem accs.(1) n then f.(0) n
+    else if Accessor.mem accs.(2) n then f.(1) n
+    else if Accessor.mem accs.(3) n then f.(2) n
+    else invalid_arg (Printf.sprintf "pennant: point %d not covered" n)
   in
   let calc_dt =
     Task.make ~name:"calc_dt"
@@ -224,12 +211,16 @@ let program cfg =
       ~cost:(fun sizes -> float_of_int sizes.(0) *. dt_seconds_per_zone)
       (fun accs _ ->
         let zs = accs.(0) in
-        Index_space.fold_ids
-          (fun acc z ->
-            Float.min acc
-              (0.05 *. sqrt (Float.abs (Accessor.get zs fzvol z))
-              /. (1. +. Float.abs (Accessor.get zs fzp z))))
-          Float.infinity (Accessor.space zs))
+        let rvol = Accessor.reader zs fzvol and rp = Accessor.reader zs fzp in
+        let acc = ref Float.infinity in
+        Accessor.iter_runs zs (fun lo hi ->
+            for z = lo to hi do
+              acc :=
+                Float.min !acc
+                  (0.05 *. sqrt (Float.abs (rvol z))
+                  /. (1. +. Float.abs (rp z)))
+            done);
+        !acc)
   in
   let zone_eos =
     Task.make ~name:"zone_eos"
@@ -244,9 +235,13 @@ let program cfg =
       ~cost:(fun sizes -> float_of_int sizes.(0) *. eos_seconds_per_zone)
       (fun accs _ ->
         let zs = accs.(0) in
-        Accessor.iter zs (fun z ->
-            Accessor.set zs fzp z
-              (0.4 *. Accessor.get zs fzrho z *. Accessor.get zs fze z));
+        let wp = Accessor.writer zs fzp
+        and rrho = Accessor.reader zs fzrho
+        and re = Accessor.reader zs fze in
+        Accessor.iter_runs zs (fun lo hi ->
+            for z = lo to hi do
+              wp z (0.4 *. rrho z *. re z)
+            done);
         0.)
   in
   let point_forces =
@@ -266,14 +261,23 @@ let program cfg =
       ~cost:(fun sizes -> float_of_int sizes.(0) *. forces_seconds_per_zone)
       (fun accs _ ->
         let zs = accs.(0) in
-        Accessor.iter zs (fun z ->
-            let p = Accessor.get zs fzp z in
-            Array.iteri
-              (fun k (sx, sy) ->
-                let pt = int_of_float (Accessor.get zs fpt.(k) z) in
-                deposit fpfx accs pt (0.5 *. sx *. p);
-                deposit fpfy accs pt (0.5 *. sy *. p))
-              corner_sign);
+        let rp = Accessor.reader zs fzp in
+        let rpt = Array.map (Accessor.reader zs) fpt in
+        let dfx =
+          Array.map (fun k -> Accessor.reducer accs.(k) fpfx) [| 1; 2; 3 |]
+        and dfy =
+          Array.map (fun k -> Accessor.reducer accs.(k) fpfy) [| 1; 2; 3 |]
+        in
+        Accessor.iter_runs zs (fun lo hi ->
+            for z = lo to hi do
+              let p = rp z in
+              Array.iteri
+                (fun k (sx, sy) ->
+                  let pt = int_of_float (rpt.(k) z) in
+                  covering accs dfx pt (0.5 *. sx *. p);
+                  covering accs dfy pt (0.5 *. sy *. p))
+                corner_sign
+            done);
         0.)
   in
   let move_points =
@@ -297,21 +301,31 @@ let program cfg =
         let dt = sargs.(0) in
         Array.iter
           (fun acc ->
-            Accessor.iter acc (fun p ->
-                let minv = 1. /. Accessor.get acc fpm p in
-                let vx =
-                  Accessor.get acc fpvx p
-                  +. (dt *. Accessor.get acc fpfx p *. minv)
-                and vy =
-                  Accessor.get acc fpvy p
-                  +. (dt *. Accessor.get acc fpfy p *. minv)
-                in
-                Accessor.set acc fpvx p vx;
-                Accessor.set acc fpvy p vy;
-                Accessor.set acc fppx p (Accessor.get acc fppx p +. (dt *. vx));
-                Accessor.set acc fppy p (Accessor.get acc fppy p +. (dt *. vy));
-                Accessor.set acc fpfx p 0.;
-                Accessor.set acc fpfy p 0.))
+            let rm = Accessor.reader acc fpm
+            and rvx = Accessor.reader acc fpvx
+            and rvy = Accessor.reader acc fpvy
+            and rfx = Accessor.reader acc fpfx
+            and rfy = Accessor.reader acc fpfy
+            and rpx = Accessor.reader acc fppx
+            and rpy = Accessor.reader acc fppy
+            and wvx = Accessor.writer acc fpvx
+            and wvy = Accessor.writer acc fpvy
+            and wpx = Accessor.writer acc fppx
+            and wpy = Accessor.writer acc fppy
+            and wfx = Accessor.writer acc fpfx
+            and wfy = Accessor.writer acc fpfy in
+            Accessor.iter_runs acc (fun lo hi ->
+                for p = lo to hi do
+                  let minv = 1. /. rm p in
+                  let vx = rvx p +. (dt *. rfx p *. minv)
+                  and vy = rvy p +. (dt *. rfy p *. minv) in
+                  wvx p vx;
+                  wvy p vy;
+                  wpx p (rpx p +. (dt *. vx));
+                  wpy p (rpy p +. (dt *. vy));
+                  wfx p 0.;
+                  wfy p 0.
+                done))
           [| accs.(0); accs.(1) |];
         0.)
   in
@@ -338,9 +352,23 @@ let program cfg =
       ~cost:(fun sizes -> float_of_int sizes.(0) *. update_seconds_per_zone)
       (fun accs _ ->
         let zs = accs.(0) in
-        Accessor.iter zs (fun z ->
-            let px k = lookup fppx accs (int_of_float (Accessor.get zs fpt.(k) z))
-            and py k = lookup fppy accs (int_of_float (Accessor.get zs fpt.(k) z)) in
+        let rzp = Accessor.reader zs fzp
+        and rzm = Accessor.reader zs fzm
+        and rze = Accessor.reader zs fze
+        and rzvol = Accessor.reader zs fzvol
+        and wze = Accessor.writer zs fze
+        and wzvol = Accessor.writer zs fzvol
+        and wzrho = Accessor.writer zs fzrho in
+        let rpt = Array.map (Accessor.reader zs) fpt in
+        let ppx =
+          Array.map (fun k -> Accessor.reader accs.(k) fppx) [| 1; 2; 3 |]
+        and ppy =
+          Array.map (fun k -> Accessor.reader accs.(k) fppy) [| 1; 2; 3 |]
+        in
+        Accessor.iter_runs zs (fun zlo zhi ->
+          for z = zlo to zhi do
+            let px k = covering accs ppx (int_of_float (rpt.(k) z))
+            and py k = covering accs ppy (int_of_float (rpt.(k) z)) in
             (* Shoelace area of the quad with corners 0,1,3,2 (ccw). *)
             let order = [| 0; 1; 3; 2 |] in
             let vol = ref 0. in
@@ -349,13 +377,12 @@ let program cfg =
               vol := !vol +. ((px a *. py b) -. (px b *. py a))
             done;
             let vol = 0.5 *. Float.abs !vol in
-            let old_vol = Accessor.get zs fzvol z in
-            let zm = Accessor.get zs fzm z in
-            Accessor.set zs fze z
-              (Accessor.get zs fze z
-              -. (Accessor.get zs fzp z *. (vol -. old_vol) /. zm));
-            Accessor.set zs fzvol z vol;
-            Accessor.set zs fzrho z (zm /. Float.max vol 1e-12));
+            let old_vol = rzvol z in
+            let zm = rzm z in
+            wze z (rze z -. (rzp z *. (vol -. old_vol) /. zm));
+            wzvol z vol;
+            wzrho z (zm /. Float.max vol 1e-12)
+          done);
         0.)
   in
   let init_zones =
@@ -377,18 +404,24 @@ let program cfg =
         ]
       (fun accs _ ->
         let zs = accs.(0) in
-        Accessor.iter zs (fun z ->
-            Accessor.set zs fzrho z 1.;
-            (* A central "Sedov-like" energy concentration. *)
-            Accessor.set zs fze z
-              (if z = m.n_zones / 2 then 10. else 1.);
-            Accessor.set zs fzp z 0.;
-            Accessor.set zs fzvol z 1.;
-            Accessor.set zs fzm z 1.;
-            Array.iteri
-              (fun k f ->
-                Accessor.set zs f z (float_of_int m.zone_pts.(z).(k)))
-              fpt);
+        let wrho = Accessor.writer zs fzrho
+        and we = Accessor.writer zs fze
+        and wp = Accessor.writer zs fzp
+        and wvol = Accessor.writer zs fzvol
+        and wm = Accessor.writer zs fzm in
+        let wpt = Array.map (Accessor.writer zs) fpt in
+        Accessor.iter_runs zs (fun lo hi ->
+            for z = lo to hi do
+              wrho z 1.;
+              (* A central "Sedov-like" energy concentration. *)
+              we z (if z = m.n_zones / 2 then 10. else 1.);
+              wp z 0.;
+              wvol z 1.;
+              wm z 1.;
+              Array.iteri
+                (fun k w -> w z (float_of_int m.zone_pts.(z).(k)))
+                wpt
+            done);
         0.)
   in
   let init_points =
@@ -410,14 +443,23 @@ let program cfg =
           };
         ]
       (fun accs _ ->
-        Accessor.iter accs.(0) (fun p ->
-            Accessor.set accs.(0) fppx p (float_of_int (p mod (w + 1)));
-            Accessor.set accs.(0) fppy p (float_of_int (p / (w + 1)));
-            Accessor.set accs.(0) fpvx p 0.;
-            Accessor.set accs.(0) fpvy p 0.;
-            Accessor.set accs.(0) fpfx p 0.;
-            Accessor.set accs.(0) fpfy p 0.;
-            Accessor.set accs.(0) fpm p 1.);
+        let wpx = Accessor.writer accs.(0) fppx
+        and wpy = Accessor.writer accs.(0) fppy
+        and wvx = Accessor.writer accs.(0) fpvx
+        and wvy = Accessor.writer accs.(0) fpvy
+        and wfx = Accessor.writer accs.(0) fpfx
+        and wfy = Accessor.writer accs.(0) fpfy
+        and wm = Accessor.writer accs.(0) fpm in
+        Accessor.iter_runs accs.(0) (fun lo hi ->
+            for p = lo to hi do
+              wpx p (float_of_int (p mod (w + 1)));
+              wpy p (float_of_int (p / (w + 1)));
+              wvx p 0.;
+              wvy p 0.;
+              wfx p 0.;
+              wfy p 0.;
+              wm p 1.
+            done);
         0.)
   in
   List.iter (Program.Builder.task b)

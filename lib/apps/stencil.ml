@@ -139,27 +139,39 @@ let program cfg =
         float_of_int sizes.(0) *. stencil_seconds_per_point)
       (fun accs _ ->
         let out = accs.(0) and own = accs.(1) and halo = accs.(2) in
-        Accessor.iter out (fun id ->
-            let p = Rect.delinearize u id in
-            let x = p.(0) and y = p.(1) in
-            if interior x y then begin
-              let acc = ref (Accessor.get out fout id) in
-              for k = 1 to r do
-                let at dx dy =
-                  let nid =
-                    Rect.linearize u (Point.make2 (x + dx) (y + dy))
+        let rout = Accessor.reader out fout
+        and wout = Accessor.writer out fout
+        and rown = Accessor.reader own fin
+        and rhalo = Accessor.reader halo fin in
+        (* Runs vary the fastest axis (y; x only on a row carry), so the
+           coordinates are tracked incrementally instead of delinearizing
+           every point. *)
+        Accessor.iter_runs out (fun lo hi ->
+            let p = Rect.delinearize u lo in
+            let x = ref p.(0) and y = ref p.(1) in
+            for id = lo to hi do
+              if interior !x !y then begin
+                let acc = ref (rout id) in
+                for k = 1 to r do
+                  let at dx dy =
+                    let nid =
+                      Rect.linearize u (Point.make2 (!x + dx) (!y + dy))
+                    in
+                    if Accessor.mem own nid then rown nid else rhalo nid
                   in
-                  if Index_space.mem (Accessor.space own) nid then
-                    Accessor.get own fin nid
-                  else Accessor.get halo fin nid
-                in
-                acc :=
-                  !acc
-                  +. (w /. float_of_int r)
-                     *. (at k 0 +. at (-k) 0 +. at 0 k +. at 0 (-k))
-              done;
-              Accessor.set out fout id !acc
-            end);
+                  acc :=
+                    !acc
+                    +. (w /. float_of_int r)
+                       *. (at k 0 +. at (-k) 0 +. at 0 k +. at 0 (-k))
+                done;
+                wout id !acc
+              end;
+              incr y;
+              if !y = g.height then begin
+                y := 0;
+                incr x
+              end
+            done);
         0.)
   in
   let increment =
@@ -168,8 +180,12 @@ let program cfg =
       ~cost:(fun sizes ->
         float_of_int sizes.(0) *. increment_seconds_per_point)
       (fun accs _ ->
-        Accessor.iter accs.(0) (fun id ->
-            Accessor.set accs.(0) fin id (Accessor.get accs.(0) fin id +. 1.));
+        let rin = Accessor.reader accs.(0) fin
+        and win = Accessor.writer accs.(0) fin in
+        Accessor.iter_runs accs.(0) (fun lo hi ->
+            for id = lo to hi do
+              win id (rin id +. 1.)
+            done);
         0.)
   in
   let init_grid =
@@ -177,10 +193,20 @@ let program cfg =
       ~params:
         [ { Task.pname = "grid"; privs = [ Privilege.writes fin; Privilege.writes fout ] } ]
       (fun accs _ ->
-        Accessor.iter accs.(0) (fun id ->
-            let p = Rect.delinearize u id in
-            Accessor.set accs.(0) fin id (float_of_int (p.(0) + p.(1)));
-            Accessor.set accs.(0) fout id 0.);
+        let win = Accessor.writer accs.(0) fin
+        and wout = Accessor.writer accs.(0) fout in
+        Accessor.iter_runs accs.(0) (fun lo hi ->
+            let p = Rect.delinearize u lo in
+            let x = ref p.(0) and y = ref p.(1) in
+            for id = lo to hi do
+              win id (float_of_int (!x + !y));
+              wout id 0.;
+              incr y;
+              if !y = g.height then begin
+                y := 0;
+                incr x
+              end
+            done);
         0.)
   in
   Program.Builder.task b stencil_task;

@@ -4,12 +4,29 @@ type t = {
   inst : Physical.t;
   space : Index_space.t;
   privs : Privilege.t list;
+  full : bool; (* the view covers the whole instance *)
+  modes : Privilege.mode option array; (* indexed by Field.id *)
 }
 
 let make inst ~space privs =
   if not (Index_space.subset space (Physical.ispace inst)) then
     invalid_arg "Accessor.make: space not contained in instance";
-  { inst; space; privs }
+  (* Subset + equal cardinality means the view is the whole instance, so
+     membership checks can use the instance's O(1) addressing. *)
+  let full = Index_space.cardinal space = Physical.cardinal inst in
+  let width =
+    List.fold_left
+      (fun w (p : Privilege.t) -> max w (Field.id p.Privilege.field + 1))
+      0 privs
+  in
+  let modes = Array.make width None in
+  (* First declaration of a field wins, matching the old list scan. *)
+  List.iter
+    (fun (p : Privilege.t) ->
+      let k = Field.id p.Privilege.field in
+      if modes.(k) = None then modes.(k) <- Some p.Privilege.mode)
+    (List.rev privs);
+  { inst; space; privs; full; modes }
 
 let space t = t.space
 let privileges t = t.privs
@@ -17,16 +34,14 @@ let privileges t = t.privs
 let violation fmt = Format.kasprintf (fun s -> raise (Privilege_violation s)) fmt
 
 let mode_of t f =
-  let rec find = function
-    | [] -> None
-    | (p : Privilege.t) :: rest ->
-        if Field.equal p.Privilege.field f then Some p.Privilege.mode
-        else find rest
-  in
-  find t.privs
+  let k = Field.id f in
+  if k < Array.length t.modes then t.modes.(k) else None
+
+let mem t id =
+  if t.full then Physical.mem t.inst id else Index_space.mem t.space id
 
 let check_elt t id =
-  if not (Index_space.mem t.space id) then
+  if not (mem t id) then
     violation "access to element %d outside the argument's index space" id
 
 let get t f id =
@@ -73,5 +88,77 @@ let reduce_op t ~op f id v =
       violation "reduce to field %s under a read-only privilege" (Field.name f)
   | None -> violation "reduce to undeclared field %s" (Field.name f)
 
+(* Bulk access: privileges are checked once, at closure creation, and the
+   closure body is the hoisted fast path — column and addressing resolved
+   up front, the per-element work reduced to an index lookup plus the
+   array access. View containment is still enforced per element (it is
+   what keeps a kernel inside its subregion), but through the instance's
+   O(1) addressing whenever the view is full. *)
+
+let read_idx t col id =
+  let k = Physical.index_of_opt t.inst id in
+  if k >= 0 && (t.full || Index_space.mem t.space id) then Array.get col k
+  else
+    violation "access to element %d outside the argument's index space" id
+
+let write_idx t col id v =
+  let k = Physical.index_of_opt t.inst id in
+  if k >= 0 && (t.full || Index_space.mem t.space id) then Array.set col k v
+  else
+    violation "access to element %d outside the argument's index space" id
+
+let reader t f =
+  match mode_of t f with
+  | Some (Privilege.Read | Privilege.Read_write) ->
+      let col = Physical.column t.inst f in
+      fun id -> read_idx t col id
+  | Some (Privilege.Reduce _) ->
+      violation "read of field %s under a reduce-only privilege" (Field.name f)
+  | None -> violation "read of undeclared field %s" (Field.name f)
+
+let writer t f =
+  match mode_of t f with
+  | Some Privilege.Read_write ->
+      let col = Physical.column t.inst f in
+      fun id v -> write_idx t col id v
+  | Some Privilege.Read ->
+      violation "write to field %s under a read-only privilege" (Field.name f)
+  | Some (Privilege.Reduce _) ->
+      violation "write to field %s under a reduce-only privilege" (Field.name f)
+  | None -> violation "write to undeclared field %s" (Field.name f)
+
+let reducer_with t ~op f =
+  let col = Physical.column t.inst f in
+  let app = Privilege.apply_redop op in
+  fun id v ->
+    let k = Physical.index_of_opt t.inst id in
+    if k >= 0 && (t.full || Index_space.mem t.space id) then
+      col.(k) <- app col.(k) v
+    else
+      violation "access to element %d outside the argument's index space" id
+
+let reducer t f =
+  match mode_of t f with
+  | Some (Privilege.Reduce op) -> reducer_with t ~op f
+  | Some Privilege.Read_write ->
+      violation
+        "reduce to field %s under reads-writes: use reducer_op to name the \
+         operator"
+        (Field.name f)
+  | Some Privilege.Read ->
+      violation "reduce to field %s under a read-only privilege" (Field.name f)
+  | None -> violation "reduce to undeclared field %s" (Field.name f)
+
+let reducer_op t ~op f =
+  match mode_of t f with
+  | Some (Privilege.Reduce op') when op' = op -> reducer_with t ~op f
+  | Some Privilege.Read_write -> reducer_with t ~op f
+  | Some (Privilege.Reduce _) ->
+      violation "reduce to field %s with a mismatched operator" (Field.name f)
+  | Some Privilege.Read ->
+      violation "reduce to field %s under a read-only privilege" (Field.name f)
+  | None -> violation "reduce to undeclared field %s" (Field.name f)
+
 let iter t f = Index_space.iter_ids f t.space
+let iter_runs t k = Index_space.iter_id_runs k t.space
 let cardinal t = Index_space.cardinal t.space

@@ -32,7 +32,40 @@ val reduce : t -> Field.t -> int -> float -> unit
 
 val reduce_op : t -> op:Privilege.redop -> Field.t -> int -> float -> unit
 
+val mem : t -> int -> bool
+(** Whether a global identifier is in the accessor's view. O(1) when the
+    view covers the whole instance (the executor's per-color instances);
+    falls back to the index-space membership test for strict subviews. *)
+
+(** {2 Bulk access}
+
+    The per-element entry points above re-resolve the privilege and the
+    field column on every call. The closure constructors below do that
+    work once: the privilege is checked at construction (raising
+    {!Privilege_violation} immediately on a mode mismatch), the storage
+    column and addressing mode are hoisted, and the returned closure only
+    performs the containment check and the array access. Kernels iterate
+    with {!iter_runs} and one closure per field. *)
+
+val reader : t -> Field.t -> int -> float
+(** [reader t f] requires [Read] or [Read_write] on [f]; the closure
+    raises {!Privilege_violation} on elements outside the view. *)
+
+val writer : t -> Field.t -> int -> float -> unit
+(** Requires [Read_write]. *)
+
+val reducer : t -> Field.t -> int -> float -> unit
+(** Requires [Reduce _]; folds with the declared operator. *)
+
+val reducer_op : t -> op:Privilege.redop -> Field.t -> int -> float -> unit
+(** Like {!reducer} but for [Read_write] arguments (or a matching
+    [Reduce] declaration), naming the operator explicitly. *)
+
 val iter : t -> (int -> unit) -> unit
 (** Iterate the accessor's index space (global identifiers). *)
+
+val iter_runs : t -> (int -> int -> unit) -> unit
+(** [iter_runs t k] calls [k lo hi] per maximal run of consecutive global
+    identifiers in the view, ascending — the bulk counterpart of {!iter}. *)
 
 val cardinal : t -> int

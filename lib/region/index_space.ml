@@ -204,9 +204,77 @@ let bounds_interval t =
             rest;
           Some (Interval.make !lo !hi))
 
-let id_runs = function
+(* Runs of consecutive global identifiers. Structured spaces decompose
+   into rows: with row-major linearization the last axis varies fastest,
+   so each rectangle contributes one run per combination of its outer
+   coordinates. Rows of a single rectangle come out in ascending id
+   order already; multiple (disjoint) rectangles interleave in id space
+   but never overlap, so a sort + adjacent-merge restores maximality. *)
+let iter_id_runs k t =
+  match t with
+  | U { elts; _ } ->
+      let a = Sorted_iset.to_array elts in
+      let n = Array.length a in
+      let i = ref 0 in
+      while !i < n do
+        let lo = a.(!i) in
+        let j = ref !i in
+        while !j + 1 < n && a.(!j + 1) = a.(!j) + 1 do
+          incr j
+        done;
+        k lo a.(!j);
+        i := !j + 1
+      done
+  | S { u; rects } ->
+      let rows_of (r : Rect.t) emit =
+        let d = Rect.dim r in
+        let len = Rect.extent r (d - 1) in
+        if d = 1 then emit (Rect.linearize u r.Rect.lo) len
+        else begin
+          let outer =
+            Rect.make (Array.sub r.Rect.lo 0 (d - 1)) (Array.sub r.Rect.hi 0 (d - 1))
+          in
+          let p = Array.make d 0 in
+          p.(d - 1) <- r.Rect.lo.(d - 1);
+          Rect.iter
+            (fun q ->
+              Array.blit q 0 p 0 (d - 1);
+              emit (Rect.linearize u p) len)
+            outer
+        end
+      in
+      let emit_merged =
+        (* Fuse id-adjacent rows into maximal runs as they stream by. *)
+        let pend_lo = ref 0 and pend_hi = ref (-1) in
+        let push lo len =
+          if !pend_hi + 1 = lo then pend_hi := lo + len - 1
+          else begin
+            if !pend_hi >= !pend_lo then k !pend_lo !pend_hi;
+            pend_lo := lo;
+            pend_hi := lo + len - 1
+          end
+        in
+        let flush () = if !pend_hi >= !pend_lo then k !pend_lo !pend_hi in
+        (push, flush)
+      in
+      let push, flush = emit_merged in
+      (match rects with
+      | [] -> ()
+      | [ r ] -> rows_of r push
+      | rs ->
+          let acc = ref [] in
+          List.iter (fun r -> rows_of r (fun lo len -> acc := (lo, len) :: !acc)) rs;
+          let rows = List.sort (fun (a, _) (b, _) -> Int.compare a b) !acc in
+          List.iter (fun (lo, len) -> push lo len) rows);
+      flush ()
+
+let id_runs t =
+  match t with
   | U { elts; _ } -> Sorted_iset.runs elts
-  | S _ -> invalid_arg "Index_space.id_runs: structured space"
+  | S _ ->
+      let acc = ref [] in
+      iter_id_runs (fun lo hi -> acc := Interval.make lo hi :: !acc) t;
+      List.rev !acc
 
 let bounding_rect = function
   | U _ -> invalid_arg "Index_space.bounding_rect: unstructured space"

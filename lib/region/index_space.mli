@@ -68,9 +68,18 @@ val bounds_interval : t -> Interval.t option
 (** Inclusive bounds of the global identifiers; [None] when empty. *)
 
 val id_runs : t -> Interval.t list
-(** Maximal runs of consecutive global identifiers (unstructured spaces
-    only — the shallow-intersection index of §3.3 is built from these).
-    Raises [Invalid_argument] on structured spaces. *)
+(** Maximal runs of consecutive global identifiers, ascending. For
+    unstructured spaces these are the element-set runs (the shallow
+    intersection index of §3.3 is built from them); for structured spaces
+    each rectangle contributes one run per row (last axis varies fastest
+    under row-major linearization), merged across rectangles where
+    id-adjacent. *)
+
+val iter_id_runs : (int -> int -> unit) -> t -> unit
+(** [iter_id_runs k t] calls [k lo hi] for each maximal run of consecutive
+    global identifiers, ascending — same decomposition as {!id_runs}
+    without materialising the list. Copy plans and bulk accessors are
+    built from these runs. *)
 
 val bounding_rect : t -> Rect.t option
 (** Bounding rectangle of a structured space; [None] when empty. Raises

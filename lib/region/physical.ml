@@ -1,55 +1,92 @@
 open Geometry
 
+(* Addressing mode, fixed at creation. [Contiguous] when the ids are a
+   dense range; [Dense] when the id span is close enough to the element
+   count that a direct id->index table is cheap; [Search] (binary search
+   over the cached sorted id array) otherwise. All three are chosen once
+   in [create_over] — the per-access path allocates nothing. *)
+type addressing =
+  | Contiguous of { base : int }
+  | Dense of { base : int; table : int array } (* table.(id - base) = idx | -1 *)
+  | Search of { arr : int array } (* the sorted id array itself *)
+
 type t = {
   ispace : Index_space.t;
   flds : Field.t list;
   ids : Sorted_iset.t; (* sorted global ids; data arrays are parallel *)
-  contiguous : bool; (* ids = [min..max]: enables O(1) addressing *)
-  base : int; (* min id when contiguous *)
+  n : int;
+  addr : addressing;
   data : (int, float array) Hashtbl.t; (* field id -> values *)
 }
 
 let ispace t = t.ispace
 let fields t = t.flds
+let cardinal t = t.n
+
+(* A dense table costs one word per id in the span; build it whenever the
+   span is within a small factor of the element count, so sparse-but-
+   clustered instances (ghost sets, halos) get O(1) addressing without
+   blowing up memory on pathologically wide spans. *)
+let dense_span_budget n = (4 * n) + 64
 
 let create_over ?(init = 0.) ispace flds =
   let ids = Index_space.ids ispace in
   let n = Sorted_iset.cardinal ids in
-  let contiguous, base =
-    if n = 0 then (true, 0)
+  let addr =
+    if n = 0 then Contiguous { base = 0 }
     else
       let lo = Sorted_iset.min_elt ids and hi = Sorted_iset.max_elt ids in
-      (hi - lo + 1 = n, lo)
+      let span = hi - lo + 1 in
+      if span = n then Contiguous { base = lo }
+      else if span <= dense_span_budget n then begin
+        let table = Array.make span (-1) in
+        let k = ref 0 in
+        Sorted_iset.iter
+          (fun id ->
+            table.(id - lo) <- !k;
+            incr k)
+          ids;
+        Dense { base = lo; table }
+      end
+      else Search { arr = Sorted_iset.to_array ids }
   in
   let data = Hashtbl.create (List.length flds) in
   List.iter
     (fun f -> Hashtbl.replace data (Field.id f) (Array.make n init))
     flds;
-  { ispace; flds; ids; contiguous; base; data }
+  { ispace; flds; ids; n; addr; data }
 
 let create ?init (r : Region.t) =
   create_over ?init r.Region.ispace r.Region.fields
 
+(* [index_of_opt t id] is the index of [id] in the instance's storage, or
+   [-1] when absent. O(1) for [Contiguous]/[Dense], O(log n) for [Search];
+   never allocates. *)
+let index_of_opt t id =
+  match t.addr with
+  | Contiguous { base } ->
+      let k = id - base in
+      if k >= 0 && k < t.n then k else -1
+  | Dense { base; table } ->
+      let k = id - base in
+      if k >= 0 && k < Array.length table then table.(k) else -1
+  | Search { arr } ->
+      let lo = ref 0 and hi = ref (Array.length arr - 1) and res = ref (-1) in
+      while !res < 0 && !lo <= !hi do
+        let mid = (!lo + !hi) / 2 in
+        if arr.(mid) = id then res := mid
+        else if arr.(mid) < id then lo := mid + 1
+        else hi := mid - 1
+      done;
+      !res
+
+let mem t id = index_of_opt t id >= 0
+
 let index_of t id =
-  if t.contiguous then begin
-    let k = id - t.base in
-    if k < 0 || k >= Sorted_iset.cardinal t.ids then
-      invalid_arg (Printf.sprintf "Physical: element %d not in instance" id);
-    k
-  end
-  else begin
-    let a = Sorted_iset.to_array t.ids in
-    let lo = ref 0 and hi = ref (Array.length a - 1) and res = ref (-1) in
-    while !res < 0 && !lo <= !hi do
-      let mid = (!lo + !hi) / 2 in
-      if a.(mid) = id then res := mid
-      else if a.(mid) < id then lo := mid + 1
-      else hi := mid - 1
-    done;
-    if !res < 0 then
-      invalid_arg (Printf.sprintf "Physical: element %d not in instance" id);
-    !res
-  end
+  let k = index_of_opt t id in
+  if k < 0 then
+    invalid_arg (Printf.sprintf "Physical: element %d not in instance" id);
+  k
 
 let column t f =
   match Hashtbl.find_opt t.data (Field.id f) with
@@ -65,7 +102,7 @@ let update t f id g =
   let a = column t f and k = index_of t id in
   a.(k) <- g a.(k)
 
-let fill t f v = Array.fill (column t f) 0 (Sorted_iset.cardinal t.ids) v
+let fill t f v = Array.fill (column t f) 0 t.n v
 let fill_all t v = List.iter (fun f -> fill t f v) t.flds
 
 let shared_fields ?fields src dst =
@@ -95,15 +132,18 @@ let reduce_into ~op ?fields ~src ~dst () =
 let copy_volume ~src ~dst =
   Index_space.cardinal (Index_space.inter src.ispace dst.ispace)
 
+exception Unequal
+
 let equal_on a b space fl =
-  let ok = ref true in
-  List.iter
-    (fun f ->
-      Index_space.iter_ids
-        (fun id -> if !ok && get a f id <> get b f id then ok := false)
-        space)
-    fl;
-  !ok
+  try
+    List.iter
+      (fun f ->
+        Index_space.iter_ids
+          (fun id -> if get a f id <> get b f id then raise_notrace Unequal)
+          space)
+      fl;
+    true
+  with Unequal -> false
 
 let to_alist t f =
   List.rev

@@ -20,6 +20,30 @@ val create_over : ?init:float -> Index_space.t -> Field.t list -> t
 val ispace : t -> Index_space.t
 val fields : t -> Field.t list
 
+val cardinal : t -> int
+(** Number of elements the instance stores. O(1). *)
+
+val mem : t -> int -> bool
+(** Whether the element with global identifier [id] is stored here.
+    O(1) for contiguous and dense-span instances, O(log n) otherwise;
+    never allocates. *)
+
+val index_of : t -> int -> int
+(** Storage index of a global identifier; the addressing mode (contiguous
+    offset, dense id→index table, or binary search over the cached sorted
+    id array) is fixed at creation, so no per-access allocation happens.
+    Raises [Invalid_argument] when the element is not in the instance. *)
+
+val index_of_opt : t -> int -> int
+(** Like {!index_of} but returns [-1] instead of raising. *)
+
+val column : t -> Field.t -> float array
+(** The raw storage of one field, parallel to the sorted id array (element
+    with storage index [k] lives at position [k]). Exposed for the bulk
+    data plane ({!Accessor} closures, copy plans); mutate only through an
+    index obtained from {!index_of}. Raises [Invalid_argument] when [f] is
+    not a field of the instance. *)
+
 val get : t -> Field.t -> int -> float
 (** [get inst f id] reads field [f] of the element with global identifier
     [id]. Raises [Invalid_argument] when [id] is not in the instance or [f]

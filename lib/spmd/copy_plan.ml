@@ -1,0 +1,100 @@
+open Regions
+
+(* A compiled copy plan: the (src, dst, fields, intersection) of one
+   ghost-exchange copy resolved into (src_off, dst_off, len) runs over the
+   two instances' storage. Because instance storage is parallel to the
+   sorted id array, any run of consecutive global ids contained in an
+   instance maps to consecutive storage indices — so each run replays as
+   one [Array.blit] per field (or one tight fused loop for reductions).
+   Offsets depend only on the index spaces involved, never on instance
+   identity, so a plan built once replays against any instances with the
+   same layouts (e.g. the fresh staging snapshots of reduction copies). *)
+
+type t = {
+  fields : Field.t list;
+  src_off : int array;
+  dst_off : int array;
+  len : int array;
+  volume : int; (* total elements moved per field per replay *)
+}
+
+let volume t = t.volume
+let nruns t = Array.length t.len
+let fields t = t.fields
+
+let build ?space ~(src : Physical.t) ~(dst : Physical.t) ~fields () =
+  let space =
+    match space with
+    | Some s -> s
+    | None -> Index_space.inter (Physical.ispace src) (Physical.ispace dst)
+  in
+  let runs = ref [] and n = ref 0 in
+  Index_space.iter_id_runs
+    (fun lo hi ->
+      runs := (lo, hi) :: !runs;
+      incr n)
+    space;
+  let src_off = Array.make !n 0
+  and dst_off = Array.make !n 0
+  and len = Array.make !n 0 in
+  let vol = ref 0 in
+  let k = ref (!n - 1) in
+  (* [runs] is in reverse order; fill the arrays back to front. *)
+  List.iter
+    (fun (lo, hi) ->
+      src_off.(!k) <- Physical.index_of src lo;
+      dst_off.(!k) <- Physical.index_of dst lo;
+      len.(!k) <- hi - lo + 1;
+      vol := !vol + (hi - lo + 1);
+      decr k)
+    !runs;
+  { fields; src_off; dst_off; len; volume = !vol }
+
+let copy t ~src ~dst =
+  List.iter
+    (fun f ->
+      let sc = Physical.column src f and dc = Physical.column dst f in
+      for r = 0 to Array.length t.len - 1 do
+        Array.blit sc t.src_off.(r) dc t.dst_off.(r) t.len.(r)
+      done)
+    t.fields
+
+let reduce t ~op ~src ~dst =
+  List.iter
+    (fun f ->
+      let sc = Physical.column src f and dc = Physical.column dst f in
+      let nr = Array.length t.len in
+      (* The operator is matched once; each arm is a fused run loop. *)
+      match (op : Privilege.redop) with
+      | Privilege.Sum ->
+          for r = 0 to nr - 1 do
+            let s = t.src_off.(r) and d = t.dst_off.(r) in
+            for k = 0 to t.len.(r) - 1 do
+              dc.(d + k) <- dc.(d + k) +. sc.(s + k)
+            done
+          done
+      | Privilege.Prod ->
+          for r = 0 to nr - 1 do
+            let s = t.src_off.(r) and d = t.dst_off.(r) in
+            for k = 0 to t.len.(r) - 1 do
+              dc.(d + k) <- dc.(d + k) *. sc.(s + k)
+            done
+          done
+      | Privilege.Min ->
+          for r = 0 to nr - 1 do
+            let s = t.src_off.(r) and d = t.dst_off.(r) in
+            for k = 0 to t.len.(r) - 1 do
+              dc.(d + k) <- Float.min dc.(d + k) sc.(s + k)
+            done
+          done
+      | Privilege.Max ->
+          for r = 0 to nr - 1 do
+            let s = t.src_off.(r) and d = t.dst_off.(r) in
+            for k = 0 to t.len.(r) - 1 do
+              dc.(d + k) <- Float.max dc.(d + k) sc.(s + k)
+            done
+          done)
+    t.fields
+
+let execute t ~reduce:red ~src ~dst =
+  match red with None -> copy t ~src ~dst | Some op -> reduce t ~op ~src ~dst

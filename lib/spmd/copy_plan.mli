@@ -1,0 +1,51 @@
+(** Compiled copy plans: the bulk data plane for ghost exchanges.
+
+    The executor's copies act on the intersection of two instances' index
+    spaces (paper §3.1/§4.3). Executed naively that is one address
+    resolution per element per time step; the intersection, however, is
+    loop-invariant — paper §3.3's whole point is that it is computed once
+    and amortised. A plan extends that amortisation to the data movement
+    itself: on first execution the (src, dst, fields, intersection) tuple
+    is resolved into [(src_off, dst_off, len)] runs over the two storage
+    layouts, and every subsequent execution replays the runs with
+    [Array.blit] (plain copies) or a tight fused per-operator loop
+    (reduction copies).
+
+    Offsets are a function of the index spaces only, so a plan replays
+    correctly against any instances sharing the build-time layouts — in
+    particular the fresh staging snapshots reduction copies allocate each
+    iteration. The executor memoises plans per (copy, src color, dst
+    color, role); see {!Exec}. *)
+
+open Regions
+
+type t
+
+val build :
+  ?space:Index_space.t ->
+  src:Physical.t ->
+  dst:Physical.t ->
+  fields:Field.t list ->
+  unit ->
+  t
+(** Resolve the run list for moving [fields] from [src] to [dst] over
+    [space] (default: the intersection of the two instances' index
+    spaces). [space] must be contained in both instances. *)
+
+val copy : t -> src:Physical.t -> dst:Physical.t -> unit
+(** Replay as [Array.blit]s: [dst.f <- src.f] on every planned run. *)
+
+val reduce : t -> op:Privilege.redop -> src:Physical.t -> dst:Physical.t -> unit
+(** Replay as fused loops: [dst.f <- dst.f op src.f] on every planned run. *)
+
+val execute :
+  t -> reduce:Privilege.redop option -> src:Physical.t -> dst:Physical.t -> unit
+(** {!copy} when [reduce] is [None], {!reduce} otherwise. *)
+
+val volume : t -> int
+(** Elements moved per field per replay. *)
+
+val nruns : t -> int
+(** Number of contiguous runs in the plan. *)
+
+val fields : t -> Field.t list

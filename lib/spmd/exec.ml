@@ -21,6 +21,9 @@ type stats = {
   retries : int Atomic.t;
   injected : int Atomic.t;
   checkpoints : int Atomic.t;
+  plan_builds : int Atomic.t;
+  plan_replays : int Atomic.t;
+  blit_volume : int Atomic.t;
 }
 
 (* Without a registry the counters are plain private atomics; with one they
@@ -37,6 +40,9 @@ let fresh_stats ?registry () =
         retries = Atomic.make 0;
         injected = Atomic.make 0;
         checkpoints = Atomic.make 0;
+        plan_builds = Atomic.make 0;
+        plan_replays = Atomic.make 0;
+        blit_volume = Atomic.make 0;
       }
   | Some reg ->
       let isect = Intersections.fresh_stats () in
@@ -48,6 +54,8 @@ let fresh_stats ?registry () =
           float_of_int isect.Intersections.candidates);
       Obs.Metrics.gauge reg "exec.isect.nonempty" (fun () ->
           float_of_int isect.Intersections.nonempty);
+      Obs.Metrics.gauge reg "exec.isect.cache_hits" (fun () ->
+          float_of_int isect.Intersections.cache_hits);
       let cell name = Obs.Metrics.cell (Obs.Metrics.counter reg name) in
       {
         isect;
@@ -55,6 +63,9 @@ let fresh_stats ?registry () =
         retries = cell "exec.retries";
         injected = cell "exec.injected";
         checkpoints = cell "exec.checkpoints";
+        plan_builds = cell "exec.plan.builds";
+        plan_replays = cell "exec.plan.replays";
+        blit_volume = cell "exec.plan.blit_volume";
       }
 
 (* ---------- per-block runtime state ---------- *)
@@ -95,6 +106,16 @@ type bstate = {
   rstats : stats option;
   ckpt_sink : (Resilience.Checkpoint.t -> unit) option;
   trace : Obs.Trace.t;
+  data_plane : [ `Plans | `Scalar ];
+  plans : (int * int * int * int, Copy_plan.t) Hashtbl.t;
+      (* (role, copy_id, src color, dst color) -> compiled plan; role
+         distinguishes the direct move, the reduction staging copy and the
+         reduction apply of the same logical copy. -1 stands for "the root
+         region" on master-side copies. *)
+  plan_mu : Mutex.t;
+      (* Guards [plans] only: under [`Domains] copies run outside the
+         monitor (data movement off the lock), so the memo table needs its
+         own mutual exclusion; per-pair plans themselves are single-owner. *)
 }
 
 (* Trace tids: one track per shard (tids 0..9 are reserved for the driver
@@ -207,7 +228,7 @@ let fields_used_of_partition (source : Program.t) (b : Prog.block) pname =
   !acc
 
 let create_state ?stats ?fault ?ckpt_sink ?(trace = Obs.Trace.null)
-    ~(source : Program.t) ctx (b : Prog.block) =
+    ?(data_plane = `Plans) ~(source : Program.t) ctx (b : Prog.block) =
   let isect = Option.map (fun s -> s.isect) stats in
   let st =
     {
@@ -225,6 +246,9 @@ let create_state ?stats ?fault ?ckpt_sink ?(trace = Obs.Trace.null)
       rstats = stats;
       ckpt_sink;
       trace;
+      data_plane;
+      plans = Hashtbl.create 32;
+      plan_mu = Mutex.create ();
     }
   in
   List.iter
@@ -244,7 +268,21 @@ let create_state ?stats ?fault ?ckpt_sink ?(trace = Obs.Trace.null)
       | Some src, Some dst ->
           let pairs =
             match c.Prog.pairs with
-            | `Sparse -> Intersections.compute ?stats:isect ~src ~dst ()
+            | `Sparse ->
+                (* Cached per partition pair (partitions are immutable, so
+                   re-running a program re-uses the analysis); big color
+                   counts additionally fan the shallow queries and the
+                   complete phase out across the shared pool. This runs on
+                   the main domain before any shard spawns, satisfying the
+                   pool's outside-only calling convention. *)
+                let pool =
+                  if
+                    Partition.color_count src + Partition.color_count dst
+                    >= 256
+                  then Some (Taskpool.Pool.default ())
+                  else None
+                in
+                Intersections.compute_cached ?stats:isect ?pool ~src ~dst ()
             | `Dense -> Intersections.compute_all_pairs ?stats:isect ~src ~dst ()
           in
           Hashtbl.replace st.pairs c.Prog.copy_id pairs;
@@ -265,34 +303,79 @@ let create_state ?stats ?fault ?ckpt_sink ?(trace = Obs.Trace.null)
 let root_inst st rname =
   Interp.Run.region_instance st.ctx (Program.find_region st.source rname)
 
+(* Plan roles: the same logical copy pair can be moved three different
+   ways — directly, staged into a snapshot, or applied from one — and
+   each needs its own offset arrays. *)
+let role_direct = 0
+let role_stage = 1
+let role_apply = 2
+
+(* Execute one physical move of copy [cid] between colors [i] and [j]
+   ([-1] = the root region side of a master copy). Under [`Plans] the
+   (src_off, dst_off, len) runs are compiled on first execution, memoized
+   in [st.plans] and replayed as blits / fused reduction loops; under
+   [`Scalar] (the ablation baseline) every execution resolves addresses
+   per element via {!Physical.transfer}. *)
+let exec_copy st ~role ~cid ~i ~j ?space ~fields ~reduce ~src ~dst () =
+  match st.data_plane with
+  | `Scalar -> (
+      match reduce with
+      | None -> Physical.copy_into ~fields ~src ~dst ()
+      | Some op -> Physical.reduce_into ~op ~fields ~src ~dst ())
+  | `Plans ->
+      let key = (role, cid, i, j) in
+      let plan =
+        match
+          Mutex.protect st.plan_mu (fun () -> Hashtbl.find_opt st.plans key)
+        with
+        | Some p -> p
+        | None ->
+            let p = Copy_plan.build ?space ~src ~dst ~fields () in
+            bump st (fun s -> s.plan_builds);
+            Mutex.protect st.plan_mu (fun () ->
+                Hashtbl.replace st.plans key p);
+            p
+      in
+      bump st (fun s -> s.plan_replays);
+      (match st.rstats with
+      | None -> ()
+      | Some s ->
+          ignore
+            (Atomic.fetch_and_add s.blit_volume
+               (Copy_plan.volume plan * List.length fields)));
+      Copy_plan.execute plan ~reduce ~src ~dst
+
 (* Sequential (master-side) execution of an init/finalize copy: every color
    at once, no synchronisation. *)
 let master_copy st (c : Prog.copy) =
-  let do_one ~src ~dst =
-    match c.Prog.reduce with
-    | None -> Physical.copy_into ~fields:c.Prog.fields ~src ~dst ()
-    | Some op -> Physical.reduce_into ~op ~fields:c.Prog.fields ~src ~dst ()
+  let cid = c.Prog.copy_id and fields = c.Prog.fields in
+  let do_one ~i ~j ~src ~dst =
+    exec_copy st ~role:role_direct ~cid ~i ~j ~fields ~reduce:c.Prog.reduce
+      ~src ~dst ()
   in
   match (c.Prog.src, c.Prog.dst) with
   | Prog.Oregion rs, Prog.Opart pd ->
       let p = Program.find_partition st.source pd in
       let src = root_inst st rs in
       for color = 0 to Partition.color_count p - 1 do
-        do_one ~src ~dst:(instance st pd color)
+        do_one ~i:(-1) ~j:color ~src ~dst:(instance st pd color)
       done
   | Prog.Opart ps, Prog.Oregion rd ->
       let p = Program.find_partition st.source ps in
       let dst = root_inst st rd in
       for color = 0 to Partition.color_count p - 1 do
-        do_one ~src:(instance st ps color) ~dst
+        do_one ~i:color ~j:(-1) ~src:(instance st ps color) ~dst
       done
   | Prog.Opart ps, Prog.Opart pd ->
       let pairs = Hashtbl.find st.pairs c.Prog.copy_id in
       List.iter
-        (fun (i, j, _) -> do_one ~src:(instance st ps i) ~dst:(instance st pd j))
+        (fun (i, j, space) ->
+          exec_copy st ~role:role_direct ~cid ~i ~j ~space ~fields
+            ~reduce:c.Prog.reduce ~src:(instance st ps i)
+            ~dst:(instance st pd j) ())
         pairs.Intersections.items
   | Prog.Oregion rs, Prog.Oregion rd ->
-      do_one ~src:(root_inst st rs) ~dst:(root_inst st rd)
+      do_one ~i:(-1) ~j:(-1) ~src:(root_inst st rs) ~dst:(root_inst st rd)
 
 (* ---------- shard streams ---------- *)
 
@@ -445,14 +528,19 @@ let try_copy st s (c : Prog.copy) =
         ch.war <- ch.war - 1;
         let src = instance st ps i and dst = instance st pd j in
         (match c.Prog.reduce with
-        | None -> Physical.copy_into ~fields:c.Prog.fields ~src ~dst ()
+        | None ->
+            exec_copy st ~role:role_direct ~cid:c.Prog.copy_id ~i ~j ~space
+              ~fields:c.Prog.fields ~reduce:None ~src ~dst ()
         | Some _ ->
             (* Snapshot the payload now — the producer may overwrite the
                source before the consumer applies — and stage it; the
                consumer folds payloads in ascending source color for
-               deterministic floating-point results. *)
+               deterministic floating-point results. The staging plan is
+               replayed against each iteration's fresh snapshot: offsets
+               depend only on the (invariant) spaces, not the instance. *)
             let snapshot = Physical.create_over space c.Prog.fields in
-            Physical.copy_into ~fields:c.Prog.fields ~src ~dst:snapshot ();
+            exec_copy st ~role:role_stage ~cid:c.Prog.copy_id ~i ~j ~space
+              ~fields:c.Prog.fields ~reduce:None ~src ~dst:snapshot ();
             let key = (c.Prog.copy_id, j) in
             let box =
               match Hashtbl.find_opt st.mailbox key with
@@ -494,9 +582,10 @@ let try_await st s copy_id =
                 in
                 box := [];
                 List.iter
-                  (fun (_, snapshot) ->
-                    Physical.reduce_into ~op ~fields:c.Prog.fields
-                      ~src:snapshot ~dst:(instance st pd j) ())
+                  (fun (i, snapshot) ->
+                    exec_copy st ~role:role_apply ~cid:copy_id ~i ~j
+                      ~fields:c.Prog.fields ~reduce:(Some op) ~src:snapshot
+                      ~dst:(instance st pd j) ())
                   staged)
           owned);
     `Progress
@@ -1033,10 +1122,14 @@ let drive_domains st (b : Prog.block) master_env ~watchdog ~restore =
               locked (fun () -> ch.war <- ch.war - 1);
               let src = instance st ps i and dst = instance st pd j in
               (match c.Prog.reduce with
-              | None -> Physical.copy_into ~fields:c.Prog.fields ~src ~dst ()
+              | None ->
+                  exec_copy st ~role:role_direct ~cid:c.Prog.copy_id ~i ~j
+                    ~space ~fields:c.Prog.fields ~reduce:None ~src ~dst ()
               | Some _ ->
                   let snapshot = Physical.create_over space c.Prog.fields in
-                  Physical.copy_into ~fields:c.Prog.fields ~src ~dst:snapshot ();
+                  exec_copy st ~role:role_stage ~cid:c.Prog.copy_id ~i ~j
+                    ~space ~fields:c.Prog.fields ~reduce:None ~src
+                    ~dst:snapshot ();
                   locked (fun () ->
                       let key = (c.Prog.copy_id, j) in
                       let box =
@@ -1083,9 +1176,10 @@ let drive_domains st (b : Prog.block) master_env ~watchdog ~restore =
                             l)
                   in
                   List.iter
-                    (fun (_, snapshot) ->
-                      Physical.reduce_into ~op ~fields:c.Prog.fields
-                        ~src:snapshot ~dst:(instance st pd j) ())
+                    (fun (i, snapshot) ->
+                      exec_copy st ~role:role_apply ~cid:copy_id ~i ~j
+                        ~fields:c.Prog.fields ~reduce:(Some op) ~src:snapshot
+                        ~dst:(instance st pd j) ())
                     (List.sort (fun (a, _) (b, _) -> Int.compare a b) staged))
                 owned)
       | Prog.Release copy_id ->
@@ -1337,12 +1431,12 @@ let drive_domains st (b : Prog.block) master_env ~watchdog ~restore =
     | Error _ -> ()
 
 let run_block ?(sched = `Round_robin) ?stats ?fault ?(watchdog = 60.)
-    ?checkpoint_sink ?restore ?(trace = Obs.Trace.null) ~source ctx
+    ?checkpoint_sink ?restore ?(trace = Obs.Trace.null) ?data_plane ~source ctx
     (b : Prog.block) =
   let st =
     Obs.Trace.with_span trace ~tid:0 ~cat:"exec" "exec.analyze" (fun () ->
-        create_state ?stats ?fault ?ckpt_sink:checkpoint_sink ~trace ~source
-          ctx b)
+        create_state ?stats ?fault ?ckpt_sink:checkpoint_sink ~trace
+          ?data_plane ~source ctx b)
   in
   if Obs.Trace.enabled trace then
     for sid = 0 to b.Prog.shards - 1 do
@@ -1473,7 +1567,7 @@ let run_block ?(sched = `Round_robin) ?stats ?fault ?(watchdog = 60.)
         b.Prog.finalize)
 
 let run ?sched ?stats ?fault ?watchdog ?checkpoint_sink ?restore ?trace
-    (t : Prog.t) ctx =
+    ?data_plane (t : Prog.t) ctx =
   (* A restore resumes the program at its first replicated block: the
      sequential prefix ran before the checkpoint was taken and its effects
      (root instances, scalars) are part of the restored cut. *)
@@ -1485,5 +1579,5 @@ let run ?sched ?stats ?fault ?watchdog ?checkpoint_sink ?restore ?trace
           let restore = if !restoring then restore else None in
           restoring := false;
           run_block ?sched ?stats ?fault ?watchdog ?checkpoint_sink ?restore
-            ?trace ~source:t.Prog.source ctx b)
+            ?trace ?data_plane ~source:t.Prog.source ctx b)
     t.Prog.items

@@ -45,6 +45,10 @@ type stats = {
   retries : int Atomic.t;  (** rollback re-executions after injected faults *)
   injected : int Atomic.t;  (** faults fired (all sites) *)
   checkpoints : int Atomic.t;  (** checkpoints taken *)
+  plan_builds : int Atomic.t;  (** copy plans compiled (cache misses) *)
+  plan_replays : int Atomic.t;  (** plan executions (incl. first) *)
+  blit_volume : int Atomic.t;
+      (** elements moved through plan replays, summed over fields *)
 }
 
 val fresh_stats : ?registry:Obs.Metrics.t -> unit -> stats
@@ -70,6 +74,7 @@ val run :
   ?checkpoint_sink:(Resilience.Checkpoint.t -> unit) ->
   ?restore:Resilience.Checkpoint.t ->
   ?trace:Obs.Trace.t ->
+  ?data_plane:[ `Plans | `Scalar ] ->
   Prog.t ->
   Interp.Run.context ->
   unit
@@ -96,7 +101,15 @@ val run :
     shard's track ({!shard_tid}), instant events for barrier arrivals,
     channel-credit releases and collective deposits, plus analyze/init/
     finalize spans on tid 0. The per-tid (phase, name) event sequences are
-    identical across all three schedulers. *)
+    identical across all three schedulers.
+
+    [data_plane] selects how copies move bytes: [`Plans] (default)
+    compiles each copy's intersection into (src_off, dst_off, len) runs on
+    first execution and replays them with [Array.blit] / fused reduction
+    loops ({!Copy_plan}), memoized per (copy, src color, dst color, role)
+    and shared by all schedulers; [`Scalar] is the per-element ablation
+    baseline ({!Physical.copy_into}/{!Physical.reduce_into}). Results are
+    bitwise identical either way. *)
 
 val run_block :
   ?sched:sched ->
@@ -106,6 +119,7 @@ val run_block :
   ?checkpoint_sink:(Resilience.Checkpoint.t -> unit) ->
   ?restore:Resilience.Checkpoint.t ->
   ?trace:Obs.Trace.t ->
+  ?data_plane:[ `Plans | `Scalar ] ->
   source:Ir.Program.t ->
   Interp.Run.context ->
   Prog.block ->

@@ -2,7 +2,7 @@
    registry and its Exec.stats compatibility view, the level-filtered
    logger, trace sinks, Chrome trace-event schema conformance,
    critical-path attribution on the simulator timelines, trace determinism
-   across the three executor schedulers, and the committed BENCH_pr2.json
+   across the three executor schedulers, and the committed BENCH_pr3.json
    artifact's schema. *)
 
 let check = Alcotest.check
@@ -402,9 +402,9 @@ let test_trace_run_repeatable () =
   check Alcotest.bool "repeatable" true
     (traced_run (`Random 5) = traced_run (`Random 5))
 
-(* ---------- BENCH_pr2.json schema ---------- *)
+(* ---------- BENCH_pr3.json schema + data-plane thresholds ---------- *)
 
-let bench_json_path = "../BENCH_pr2.json"
+let bench_json_path = "../BENCH_pr3.json"
 
 let test_bench_artifact_schema () =
   let ic = open_in bench_json_path in
@@ -449,7 +449,62 @@ let test_bench_artifact_schema () =
     (Obs.Json.member "ablations" j <> None
     && Obs.Json.member "per_step_s" (Option.get (Obs.Json.member "ablations" j))
        <> None);
-  check Alcotest.bool "metrics object" true (Obs.Json.member "metrics" j <> None)
+  check Alcotest.bool "metrics object" true (Obs.Json.member "metrics" j <> None);
+  (* Table 1 rows carry the partition-pair cache columns. *)
+  List.iter
+    (fun row ->
+      List.iter
+        (fun k ->
+          check Alcotest.bool (k ^ " is a number") true
+            (Option.bind (Obs.Json.member k row) Obs.Json.number <> None))
+        [ "shallow_ms"; "complete_ms"; "cold_ms"; "cached_ms" ])
+    (Option.value ~default:[]
+       (Option.bind (Obs.Json.member "table1" j) Obs.Json.to_list))
+
+let read_bench_json () =
+  let ic = open_in bench_json_path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  Obs.Json.of_string_exn s
+
+(* The committed artifact must meet the PR3 acceptance thresholds: copy
+   plans >= 5x the per-element baseline, cached intersections >= 10x cold. *)
+let test_bench_data_plane_thresholds () =
+  let j = read_bench_json () in
+  let dp = Option.get (Obs.Json.member "data_plane" j) in
+  let num path v =
+    match Option.bind v Obs.Json.number with
+    | Some x -> x
+    | None -> Alcotest.failf "missing number %s" path
+  in
+  let copy_cases =
+    Option.get (Option.bind (Obs.Json.member "copy" dp) Obs.Json.to_list)
+  in
+  check Alcotest.bool "copy cases present" true (copy_cases <> []);
+  let headline =
+    num "copy[0].copy_speedup"
+      (Obs.Json.member "copy_speedup" (List.hd copy_cases))
+  in
+  check Alcotest.bool
+    (Printf.sprintf "copy plan speedup %.1fx >= 5x" headline)
+    true (headline >= 5.);
+  List.iter
+    (fun case ->
+      check Alcotest.bool "every copy case beats the baseline" true
+        (num "copy_speedup" (Obs.Json.member "copy_speedup" case) > 1.
+        && num "reduce_speedup" (Obs.Json.member "reduce_speedup" case) > 1.))
+    copy_cases;
+  let isect = Option.get (Obs.Json.member "intersections" dp) in
+  let isect_speedup = num "intersections.speedup" (Obs.Json.member "speedup" isect) in
+  check Alcotest.bool
+    (Printf.sprintf "cached intersection speedup %.1fx >= 10x" isect_speedup)
+    true (isect_speedup >= 10.);
+  check Alcotest.bool "cache hits recorded" true
+    (num "intersections.cache_hits" (Obs.Json.member "cache_hits" isect) > 0.);
+  let kernel = Option.get (Obs.Json.member "kernel" dp) in
+  check Alcotest.bool "bulk kernel beats per-element accessors" true
+    (num "kernel.speedup" (Obs.Json.member "speedup" kernel) > 1.)
 
 let () =
   Alcotest.run "obs"
@@ -491,5 +546,9 @@ let () =
           Alcotest.test_case "runs repeatable" `Quick test_trace_run_repeatable;
         ] );
       ( "bench artifact",
-        [ Alcotest.test_case "schema" `Quick test_bench_artifact_schema ] );
+        [
+          Alcotest.test_case "schema" `Quick test_bench_artifact_schema;
+          Alcotest.test_case "data plane thresholds" `Quick
+            test_bench_data_plane_thresholds;
+        ] );
     ]
