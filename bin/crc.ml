@@ -7,7 +7,8 @@
                control-replicated) and compare results
      simulate  estimate per-timestep cost on a simulated machine
      sweep     weak-scaling series for one application (Figures 6-9)
-     table1    dynamic intersection timings (Table 1) *)
+     table1    dynamic intersection timings (Table 1)
+     fuzz      differential conformance fuzzing of the whole pipeline *)
 
 open Cmdliner
 
@@ -342,6 +343,90 @@ let table1 nodes =
     [ ("circuit", Circuit); ("miniaero", Miniaero); ("pennant", Pennant);
       ("stencil", Stencil) ]
 
+(* ---------- fuzz ---------- *)
+
+let fuzz seed count max_tasks mutate shards out replay =
+  match replay with
+  | Some path -> (
+      match Conform.Fuzz.replay path with
+      | None ->
+          Printf.printf "repro %s no longer fails\n" path;
+          exit 0
+      | Some f ->
+          Format.printf "repro %s still fails: %a@." path
+            Conform.Oracle.pp_failure f;
+          exit 1)
+  | None -> (
+      let report =
+        Conform.Fuzz.campaign ~out ?max_tasks ?mutate ?shards
+          ~log:print_endline ~seed ~count ()
+      in
+      match report.Conform.Fuzz.repro with
+      | None ->
+          Printf.printf
+            "fuzz: %d case(s) passed (seed %d, all schedulers x both data \
+             planes, sanitizer armed)\n"
+            report.Conform.Fuzz.tested seed
+      | Some (r, path) ->
+          Format.printf "fuzz: case failed after %d test(s): %a@."
+            report.Conform.Fuzz.tested Conform.Oracle.pp_failure
+            r.Conform.Repro.failure;
+          Printf.printf "minimal repro written to %s (replay with: crc fuzz \
+                         --replay %s)\n"
+            path path;
+          exit 1)
+
+let fuzz_cmd =
+  let seed =
+    Arg.(value & opt int 0 & info [ "seed" ] ~docv:"N" ~doc:"Base case seed.")
+  in
+  let count =
+    Arg.(
+      value & opt int 50
+      & info [ "count" ] ~docv:"N" ~doc:"Number of cases to run.")
+  in
+  let max_tasks =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-tasks" ] ~docv:"N"
+          ~doc:"Cap on generated task definitions per case.")
+  in
+  let mutate =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "mutate" ] ~docv:"K"
+          ~doc:
+            "Negative control: drop the K-th synchronization op from every \
+             compiled case before executing. A completed campaign then means \
+             the oracle missed the bug.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt string "fuzz-repro.json"
+      & info [ "out" ] ~docv:"FILE" ~doc:"Where to write a minimal repro.")
+  in
+  let replay =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "replay" ] ~docv:"FILE"
+          ~doc:"Re-run a saved repro file instead of fuzzing.")
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Differential conformance fuzzing: random well-privileged programs \
+          run through the implicit interpreter and through the full \
+          compile+SPMD pipeline under every scheduler and data plane with \
+          the race sanitizer armed; failures are auto-shrunk to a replayable \
+          repro file.")
+    Term.(
+      const fuzz $ seed $ count $ max_tasks $ mutate $ shards_arg $ out
+      $ replay)
+
 (* ---------- command wiring ---------- *)
 
 let inspect_cmd =
@@ -389,4 +474,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "crc" ~version:"1.0.0" ~doc)
-          [ inspect_cmd; run_cmd; simulate_cmd; sweep_cmd; table1_cmd ]))
+          [ inspect_cmd; run_cmd; simulate_cmd; sweep_cmd; table1_cmd; fuzz_cmd ]))

@@ -1,0 +1,28 @@
+(** Seed-deterministic generation of well-privileged conformance programs.
+
+    {!spec} draws a {!Spec.t} from a seed; {!build} elaborates a spec into
+    an {!Ir.Program.t}. Every generated program passes [Ir.Check] and every
+    time-loop body without a [loop_if] is eligible for control replication
+    {e by construction}: writes go through identity projections on disjoint
+    partitions whose color counts equal the launch space, and within one
+    launch the written and read (region, field) pairs never conflict.
+
+    [build] is referentially transparent per spec — each call constructs a
+    fresh region tree, so callers can build one copy for the implicit
+    reference run and another for the compile-and-execute run without the
+    pipeline's registered partitions leaking between them. *)
+
+val spec : ?max_tasks:int -> int -> Spec.t
+(** [spec seed] is deterministic in [seed]; at most [max_tasks]
+    (default 8) task-launching statements in the loop body. *)
+
+val build : Spec.t -> Ir.Program.t
+
+val program : ?max_tasks:int -> int -> Ir.Program.t
+(** [build (spec seed)]. *)
+
+val random_space_pair :
+  Random.State.t -> Regions.Index_space.t * Regions.Index_space.t
+(** Two random index spaces over one shared universe — structured
+    (unions of random rectangles) or unstructured (random sparse id
+    sets) — for intersection / copy-plan properties. *)

@@ -1,0 +1,67 @@
+(* Seeded sync-op deletion: the negative control for the conformance
+   harness. Dropping one Await/Release/Barrier from a compiled program
+   must be *caught* — by the race sanitizer, a value mismatch against the
+   interpreter, or a deadlock — or the oracle is vacuous. *)
+
+let is_sync = function
+  | Spmd.Prog.Await _ | Spmd.Prog.Release _ | Spmd.Prog.Barrier -> true
+  | _ -> false
+
+let rec count_instrs instrs =
+  List.fold_left
+    (fun n instr ->
+      match instr with
+      | Spmd.Prog.For_time { body; _ } -> n + count_instrs body
+      | i -> if is_sync i then n + 1 else n)
+    0 instrs
+
+let sync_count (p : Spmd.Prog.t) =
+  List.fold_left
+    (fun n item ->
+      match item with
+      | Spmd.Prog.Seq _ -> n
+      | Spmd.Prog.Replicated b -> n + count_instrs b.Spmd.Prog.body)
+    0 p.Spmd.Prog.items
+
+(* Remove the [n]-th sync op (in program order over replicated bodies,
+   descending into time loops). Returns the mutated program and a
+   description of what was dropped; [None] when the program has no sync
+   ops at all. [n] is taken modulo the sync-op count, so any seed value
+   names a valid mutation. *)
+let drop_nth_sync (p : Spmd.Prog.t) n =
+  let total = sync_count p in
+  if total = 0 then None
+  else begin
+    let target = ((n mod total) + total) mod total in
+    let seen = ref 0 in
+    let dropped = ref None in
+    let rec go instrs =
+      List.filter_map
+        (fun instr ->
+          match instr with
+          | Spmd.Prog.For_time { var; count; body } ->
+              Some (Spmd.Prog.For_time { var; count; body = go body })
+          | i when is_sync i ->
+              let k = !seen in
+              incr seen;
+              if k = target then begin
+                dropped :=
+                  Some (Format.asprintf "%a" Spmd.Prog.pp_instr i);
+                None
+              end
+              else Some i
+          | i -> Some i)
+        instrs
+    in
+    let items =
+      List.map
+        (function
+          | Spmd.Prog.Seq _ as s -> s
+          | Spmd.Prog.Replicated b ->
+              Spmd.Prog.Replicated { b with Spmd.Prog.body = go b.Spmd.Prog.body })
+        p.Spmd.Prog.items
+    in
+    match !dropped with
+    | Some desc -> Some ({ p with Spmd.Prog.items }, desc)
+    | None -> None
+  end

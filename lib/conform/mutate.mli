@@ -1,0 +1,13 @@
+(** Seeded sync-op deletion over compiled SPMD programs — the negative
+    control proving the oracle can actually catch synchronisation bugs:
+    a program with one Await/Release/Barrier removed must fail the
+    differential check (race, mismatch, or deadlock). *)
+
+val sync_count : Spmd.Prog.t -> int
+(** Number of sync ops (Await, Release, Barrier) in the program's
+    replicated bodies, descending into time loops. *)
+
+val drop_nth_sync : Spmd.Prog.t -> int -> (Spmd.Prog.t * string) option
+(** [drop_nth_sync p n] removes the [n mod sync_count p]-th sync op in
+    program order and returns the mutated program with a description of
+    the dropped instruction; [None] when the program has no sync ops. *)

@@ -1,0 +1,42 @@
+(** Differential conformance oracle.
+
+    A spec runs once under the implicit shared-memory semantics
+    ({!Interp.Run} — the reference control replication must preserve) and
+    once per executor configuration: every scheduler crossed with both
+    data planes, race sanitizer armed. Final root-region contents and
+    scalars must be bitwise equal everywhere (the paper's equivalence
+    claim, §3); the first divergence, race, deadlock, or crash is
+    reported with its configuration. *)
+
+type kind =
+  | Mismatch  (** final state differs from the reference *)
+  | Race  (** the sanitizer found unsynchronised conflicting accesses *)
+  | Deadlock  (** every live shard blocked ({!Spmd.Exec.Deadlock}) *)
+  | Crash  (** any other exception *)
+
+type failure = { config : string; kind : kind; detail : string }
+
+val kind_to_string : kind -> string
+val kind_of_string : string -> kind
+val pp_failure : Format.formatter -> failure -> unit
+
+val stepper_scheds : (string * Spmd.Exec.sched) list
+(** The two deterministic cooperative schedulers — mutation tests use
+    these so a dropped sync op fails identically on every run. *)
+
+val all_scheds : (string * Spmd.Exec.sched) list
+(** [stepper_scheds] plus [`Domains]. *)
+
+val check :
+  ?shards:int ->
+  ?mutate:int ->
+  ?scheds:(string * Spmd.Exec.sched) list ->
+  ?watchdog:float ->
+  Spec.t ->
+  failure option
+(** [check spec] is [None] when every configuration reproduces the
+    reference bitwise, and the first failure otherwise. Each
+    configuration rebuilds the program from the spec (compilation and
+    execution mutate derived state). [?mutate] drops the [k]-th sync op
+    from each compiled program first — the harness's negative control.
+    [?watchdog] (seconds) bounds [`Domains] stalls; defaults to [10.]. *)

@@ -1,0 +1,87 @@
+(* Replayable repro files. A failing fuzz case is saved as JSON carrying
+   the (shrunk) spec itself — not just the seed — so the repro stays
+   valid even when the generator's distribution changes between
+   versions. *)
+
+let version = "crc-fuzz/1"
+
+type t = {
+  seed : int option; (* generator seed, when the spec came from one *)
+  shards : int;
+  mutate : int option;
+  failure : Oracle.failure;
+  spec : Spec.t;
+}
+
+let to_json (r : t) =
+  Obs.Json.Obj
+    [
+      ("version", Obs.Json.Str version);
+      ( "seed",
+        match r.seed with None -> Obs.Json.Null | Some s -> Obs.Json.Int s );
+      ("shards", Obs.Json.Int r.shards);
+      ( "mutate",
+        match r.mutate with None -> Obs.Json.Null | Some k -> Obs.Json.Int k
+      );
+      ( "failure",
+        Obs.Json.Obj
+          [
+            ("config", Obs.Json.Str r.failure.Oracle.config);
+            ("kind", Obs.Json.Str (Oracle.kind_to_string r.failure.Oracle.kind));
+            ("detail", Obs.Json.Str r.failure.Oracle.detail);
+          ] );
+      ("spec", Spec.to_json r.spec);
+    ]
+
+let get name j =
+  match Obs.Json.member name j with
+  | Some v -> v
+  | None -> invalid_arg ("Repro: missing field " ^ name)
+
+let str j =
+  match Obs.Json.string_value j with
+  | Some s -> s
+  | None -> invalid_arg "Repro: expected string"
+
+let int_opt j =
+  match j with
+  | Obs.Json.Null -> None
+  | _ -> (
+      match Obs.Json.number j with
+      | Some f -> Some (int_of_float f)
+      | None -> invalid_arg "Repro: expected int or null")
+
+let of_json j =
+  let v = str (get "version" j) in
+  if v <> version then invalid_arg ("Repro: unsupported version " ^ v);
+  let fj = get "failure" j in
+  {
+    seed = int_opt (get "seed" j);
+    shards =
+      (match int_opt (get "shards" j) with
+      | Some s -> s
+      | None -> invalid_arg "Repro: shards is null");
+    mutate = int_opt (get "mutate" j);
+    failure =
+      {
+        Oracle.config = str (get "config" fj);
+        kind = Oracle.kind_of_string (str (get "kind" fj));
+        detail = str (get "detail" fj);
+      };
+    spec = Spec.of_json (get "spec" j);
+  }
+
+let save path r =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Obs.Json.to_channel ~indent:2 oc (to_json r);
+      output_char oc '\n')
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      of_json (Obs.Json.of_string_exn (In_channel.input_all ic)))

@@ -1,0 +1,19 @@
+(** Replayable repro files for failing conformance cases.
+
+    The file carries the (shrunk) spec itself, not just the generator
+    seed, so a repro stays valid across changes to the generator's
+    distribution. Format: JSON, versioned ["crc-fuzz/1"]. *)
+
+type t = {
+  seed : int option;  (** generator seed, when the spec came from one *)
+  shards : int;
+  mutate : int option;  (** sync op dropped by {!Mutate.drop_nth_sync} *)
+  failure : Oracle.failure;  (** what the original case failed with *)
+  spec : Spec.t;
+}
+
+val to_json : t -> Obs.Json.t
+val of_json : Obs.Json.t -> t
+
+val save : string -> t -> unit
+val load : string -> t

@@ -1,0 +1,168 @@
+(* Greedy spec minimisation. Candidates are hand-rolled structural
+   reductions (drop a statement, shorten the time loop, shrink an index
+   space, simplify a partition or projection, clear a flag, then garbage-
+   collect unreferenced declarations); the caller's predicate decides
+   whether a candidate still fails *the same way*. First-accept descent to
+   a fixpoint: every accepted candidate strictly decreases [Spec.size], so
+   termination is by well-founded measure, and the result is 1-minimal
+   with respect to the candidate moves. *)
+
+open Spec
+
+(* Partitions referenced by the body, transitively through image/halo
+   sources. *)
+let used_parts (s : t) =
+  let direct =
+    List.concat_map
+      (function
+        | SForall { out; inp; _ } -> [ out; inp ]
+        | SReduceRegion { dst; src; _ } -> [ dst; src ]
+        | SScalarRed { arg; _ } -> [ arg ]
+        | SAssign _ -> [])
+      s.body
+  in
+  let tbl = Hashtbl.create 16 in
+  let rec add name =
+    if not (Hashtbl.mem tbl name) then begin
+      Hashtbl.add tbl name ();
+      match List.find_opt (fun p -> p.pname = name) s.parts with
+      | Some { pspec = Pimage { src; _ }; _ } | Some { pspec = Phalo { src }; _ }
+        ->
+          add src
+      | _ -> ()
+    end
+  in
+  List.iter add direct;
+  tbl
+
+(* Drop declarations nothing references (tasks, partitions, regions). *)
+let gc (s : t) =
+  let tasks_used =
+    List.filter_map
+      (function
+        | SForall { task; _ } | SReduceRegion { task; _ }
+        | SScalarRed { task; _ } ->
+            Some task
+        | SAssign _ -> None)
+      s.body
+  in
+  let tasks = List.filter (fun td -> List.mem td.tname tasks_used) s.tasks in
+  let parts_used = used_parts s in
+  let parts = List.filter (fun p -> Hashtbl.mem parts_used p.pname) s.parts in
+  let regions_used =
+    List.fold_left
+      (fun acc p -> if List.mem p.preg acc then acc else p.preg :: acc)
+      [] parts
+  in
+  let regions =
+    List.filter (fun (rname, _) -> List.mem rname regions_used) s.regions
+  in
+  { s with tasks; parts; regions }
+
+let shrink_space = function
+  | Dense n when n > 4 -> Some (Dense (max 4 (n / 2)))
+  | Dense _ -> None
+  | Sparse { universe; _ } -> Some (Dense (max 4 (universe / 2)))
+  | Grid { nx; ny } when nx > 3 || ny > 3 ->
+      Some (Grid { nx = max 3 (nx / 2); ny = max 3 (ny / 2) })
+  | Grid _ -> None
+
+(* All one-step reductions of [s], already garbage-collected. *)
+let candidates (s : t) : t list =
+  let acc = ref [] in
+  let push c = acc := gc c :: !acc in
+  (* Drop one body statement (keep at least one). *)
+  if List.length s.body > 1 then
+    List.iteri
+      (fun i _ -> push { s with body = List.filteri (fun j _ -> j <> i) s.body })
+      s.body;
+  (* Shorten the time loop. *)
+  if s.steps > 1 then begin
+    push { s with steps = 1 };
+    push { s with steps = s.steps - 1 }
+  end;
+  (* Fewer launch colors. Grid-shaped partitions tile exactly [nt] pieces,
+     so they degrade to colorings when the count changes. *)
+  if s.nt > 2 then begin
+    let parts =
+      List.map
+        (fun p ->
+          match p.pspec with
+          | Pgrid _ -> { p with pspec = Pcolor { mul = 1; add = 0 } }
+          | _ -> p)
+        s.parts
+    in
+    push { s with nt = s.nt - 1; parts }
+  end;
+  (* Shrink one region's index space. *)
+  List.iteri
+    (fun i (rname, sp) ->
+      match shrink_space sp with
+      | None -> ()
+      | Some sp' ->
+          push
+            {
+              s with
+              regions =
+                List.mapi
+                  (fun j r -> if j = i then (rname, sp') else r)
+                  s.regions;
+            })
+    s.regions;
+  (* Simplify one partition: ghosts and grids become plain blocks,
+     colorings lose their offset. *)
+  List.iteri
+    (fun i p ->
+      let simpler =
+        match p.pspec with
+        | Pblock -> None
+        | Pgrid _ | Pcolor _ | Pimage _ | Phalo _ -> Some Pblock
+      in
+      match simpler with
+      | None -> ()
+      | Some pspec ->
+          push
+            {
+              s with
+              parts =
+                List.mapi
+                  (fun j q -> if j = i then { p with pspec } else q)
+                  s.parts;
+            })
+    s.parts;
+  (* Identity projections. *)
+  List.iteri
+    (fun i stmt ->
+      let simpler =
+        match stmt with
+        | SForall ({ inp_proj = PRot _; _ } as f) ->
+            Some (SForall { f with inp_proj = PId })
+        | SReduceRegion ({ src_proj = PRot _; _ } as r) ->
+            Some (SReduceRegion { r with src_proj = PId })
+        | SScalarRed ({ arg_proj = PRot _; _ } as r) ->
+            Some (SScalarRed { r with arg_proj = PId })
+        | _ -> None
+      in
+      match simpler with
+      | None -> ()
+      | Some stmt' ->
+          push
+            { s with body = List.mapi (fun j x -> if j = i then stmt' else x) s.body })
+    s.body;
+  (* Clear structural flags. *)
+  if s.seq_if then push { s with seq_if = false };
+  if s.loop_if then push { s with loop_if = false };
+  if s.tail_assign then push { s with tail_assign = false };
+  List.rev !acc
+
+(* Greedy first-accept descent: take the first strictly smaller candidate
+   the predicate accepts, repeat from it, stop when none is accepted. The
+   predicate must be total (return [false] rather than raise). *)
+let run (still_fails : t -> bool) (s0 : t) =
+  let rec fix s =
+    let smaller = List.filter (fun c -> size c < size s) (candidates s) in
+    match List.find_opt still_fails smaller with
+    | Some c -> fix c
+    | None -> s
+  in
+  fix s0

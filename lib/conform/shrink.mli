@@ -1,0 +1,20 @@
+(** Greedy spec minimisation for failing conformance cases.
+
+    Candidate moves: drop a body statement, shorten the time loop, shrink
+    an index space, reduce the launch-color count, simplify a partition
+    (ghost/grid/coloring → block) or projection (rotation → identity),
+    clear a structural flag — each followed by garbage collection of
+    now-unreferenced tasks, partitions and regions. *)
+
+val candidates : Spec.t -> Spec.t list
+(** All one-step reductions of a spec (not necessarily smaller — the
+    driver filters by {!Spec.size}). *)
+
+val run : (Spec.t -> bool) -> Spec.t -> Spec.t
+(** [run still_fails spec] descends first-accept: repeatedly move to the
+    first strictly [Spec.size]-smaller candidate that [still_fails]
+    accepts, until none is. [still_fails] must be total — return [false]
+    on a candidate that crashes the build rather than raise — and should
+    accept only candidates failing with the {e same kind} as the original
+    (otherwise the shrinker chases unrelated bugs). Terminates because
+    every accepted step strictly decreases {!Spec.size}. *)

@@ -1,0 +1,370 @@
+(* Pure-data program specifications: the generator draws one of these from
+   a seed, the builder elaborates it into an Ir.Program.t, the shrinker
+   rewrites it, and repro files serialize it. No closures anywhere — that
+   is the whole point. *)
+
+type space_spec =
+  | Dense of int
+  | Sparse of { universe : int; period : int; keep : int }
+  | Grid of { nx : int; ny : int }
+
+type part_spec =
+  | Pblock
+  | Pgrid of { gx : int; gy : int }
+  | Pcolor of { mul : int; add : int }
+  | Pimage of { src : string; mul : int; add : int; width : int }
+  | Phalo of { src : string }
+
+type pdecl = { pname : string; preg : string; pspec : part_spec }
+
+type task_kind =
+  | KWriter of { wf : string; rf : string; mul : int; add : int; modn : int }
+  | KStencil of { wf : string; rf : string }
+  | KReduce of { op : Regions.Privilege.redop; df : string; sf : string }
+  | KScalarRed of { op : Regions.Privilege.redop; rf : string }
+
+type tdecl = { tname : string; kind : task_kind }
+type proj_spec = PId | PRot of int
+
+type stmt_spec =
+  | SForall of {
+      task : string;
+      out : string;
+      inp : string;
+      inp_proj : proj_spec;
+    }
+  | SReduceRegion of {
+      task : string;
+      dst : string;
+      src : string;
+      src_proj : proj_spec;
+    }
+  | SScalarRed of { task : string; arg : string; arg_proj : proj_spec }
+  | SAssign of { mulc : float; addc : float }
+
+type t = {
+  name : string;
+  nt : int;
+  steps : int;
+  regions : (string * space_spec) list;
+  parts : pdecl list;
+  tasks : tdecl list;
+  body : stmt_spec list;
+  seq_if : bool;
+  loop_if : bool;
+  tail_assign : bool;
+}
+
+let space_size = function
+  | Dense n -> n
+  | Sparse { universe; _ } -> universe
+  | Grid { nx; ny } -> nx * ny
+
+let size s =
+  s.nt + s.steps
+  + List.fold_left (fun a (_, sp) -> a + 1 + space_size sp) 0 s.regions
+  + List.fold_left
+      (fun a (p : pdecl) ->
+        a + match p.pspec with Pblock -> 1 | _ -> 2)
+      0 s.parts
+  + List.length s.tasks
+  + List.fold_left
+      (fun a st ->
+        a
+        + 2
+        +
+        match st with
+        | SForall { inp_proj = PRot _; _ }
+        | SReduceRegion { src_proj = PRot _; _ }
+        | SScalarRed { arg_proj = PRot _; _ } ->
+            1
+        | _ -> 0)
+      0 s.body
+  + (if s.seq_if then 1 else 0)
+  + (if s.loop_if then 1 else 0)
+  + if s.tail_assign then 1 else 0
+
+let task_count s =
+  List.length
+    (List.filter (function SAssign _ -> false | _ -> true) s.body)
+
+let equal a b = a = b
+
+(* ---------- JSON ---------- *)
+
+module J = Obs.Json
+
+let redop_to_string = function
+  | Regions.Privilege.Sum -> "sum"
+  | Prod -> "prod"
+  | Min -> "min"
+  | Max -> "max"
+
+let redop_of_string = function
+  | "sum" -> Regions.Privilege.Sum
+  | "prod" -> Regions.Privilege.Prod
+  | "min" -> Regions.Privilege.Min
+  | "max" -> Regions.Privilege.Max
+  | s -> invalid_arg ("Spec.redop_of_string: " ^ s)
+
+let space_to_json = function
+  | Dense n -> J.Obj [ ("kind", J.Str "dense"); ("n", J.Int n) ]
+  | Sparse { universe; period; keep } ->
+      J.Obj
+        [
+          ("kind", J.Str "sparse");
+          ("universe", J.Int universe);
+          ("period", J.Int period);
+          ("keep", J.Int keep);
+        ]
+  | Grid { nx; ny } ->
+      J.Obj [ ("kind", J.Str "grid"); ("nx", J.Int nx); ("ny", J.Int ny) ]
+
+let part_to_json (p : pdecl) =
+  let spec =
+    match p.pspec with
+    | Pblock -> [ ("kind", J.Str "block") ]
+    | Pgrid { gx; gy } ->
+        [ ("kind", J.Str "grid"); ("gx", J.Int gx); ("gy", J.Int gy) ]
+    | Pcolor { mul; add } ->
+        [ ("kind", J.Str "color"); ("mul", J.Int mul); ("add", J.Int add) ]
+    | Pimage { src; mul; add; width } ->
+        [
+          ("kind", J.Str "image");
+          ("src", J.Str src);
+          ("mul", J.Int mul);
+          ("add", J.Int add);
+          ("width", J.Int width);
+        ]
+    | Phalo { src } -> [ ("kind", J.Str "halo"); ("src", J.Str src) ]
+  in
+  J.Obj ([ ("name", J.Str p.pname); ("region", J.Str p.preg) ] @ spec)
+
+let task_to_json (td : tdecl) =
+  let kind =
+    match td.kind with
+    | KWriter { wf; rf; mul; add; modn } ->
+        [
+          ("kind", J.Str "writer");
+          ("wf", J.Str wf);
+          ("rf", J.Str rf);
+          ("mul", J.Int mul);
+          ("add", J.Int add);
+          ("modn", J.Int modn);
+        ]
+    | KStencil { wf; rf } ->
+        [ ("kind", J.Str "stencil"); ("wf", J.Str wf); ("rf", J.Str rf) ]
+    | KReduce { op; df; sf } ->
+        [
+          ("kind", J.Str "reduce");
+          ("op", J.Str (redop_to_string op));
+          ("df", J.Str df);
+          ("sf", J.Str sf);
+        ]
+    | KScalarRed { op; rf } ->
+        [
+          ("kind", J.Str "scalar_red");
+          ("op", J.Str (redop_to_string op));
+          ("rf", J.Str rf);
+        ]
+  in
+  J.Obj (("name", J.Str td.tname) :: kind)
+
+let proj_to_json = function PId -> J.Int 0 | PRot k -> J.Int k
+
+let stmt_to_json = function
+  | SForall { task; out; inp; inp_proj } ->
+      J.Obj
+        [
+          ("kind", J.Str "forall");
+          ("task", J.Str task);
+          ("out", J.Str out);
+          ("inp", J.Str inp);
+          ("inp_proj", proj_to_json inp_proj);
+        ]
+  | SReduceRegion { task; dst; src; src_proj } ->
+      J.Obj
+        [
+          ("kind", J.Str "reduce_region");
+          ("task", J.Str task);
+          ("dst", J.Str dst);
+          ("src", J.Str src);
+          ("src_proj", proj_to_json src_proj);
+        ]
+  | SScalarRed { task; arg; arg_proj } ->
+      J.Obj
+        [
+          ("kind", J.Str "scalar_red");
+          ("task", J.Str task);
+          ("arg", J.Str arg);
+          ("arg_proj", proj_to_json arg_proj);
+        ]
+  | SAssign { mulc; addc } ->
+      J.Obj
+        [
+          ("kind", J.Str "assign");
+          ("mulc", J.Float mulc);
+          ("addc", J.Float addc);
+        ]
+
+let to_json s =
+  J.Obj
+    [
+      ("name", J.Str s.name);
+      ("nt", J.Int s.nt);
+      ("steps", J.Int s.steps);
+      ( "regions",
+        J.List
+          (List.map
+             (fun (rn, sp) ->
+               J.Obj [ ("name", J.Str rn); ("space", space_to_json sp) ])
+             s.regions) );
+      ("parts", J.List (List.map part_to_json s.parts));
+      ("tasks", J.List (List.map task_to_json s.tasks));
+      ("body", J.List (List.map stmt_to_json s.body));
+      ("seq_if", J.Bool s.seq_if);
+      ("loop_if", J.Bool s.loop_if);
+      ("tail_assign", J.Bool s.tail_assign);
+    ]
+
+(* -- decoding -- *)
+
+let fail fmt = Printf.ksprintf invalid_arg fmt
+
+let str_field name j =
+  match J.member name j with
+  | Some (J.Str s) -> s
+  | _ -> fail "Spec.of_json: missing string field %S" name
+
+let int_field name j =
+  match J.member name j with
+  | Some (J.Int n) -> n
+  | Some (J.Float f) -> int_of_float f
+  | _ -> fail "Spec.of_json: missing int field %S" name
+
+let float_field name j =
+  match Option.bind (J.member name j) J.number with
+  | Some f -> f
+  | None -> fail "Spec.of_json: missing number field %S" name
+
+let bool_field name j =
+  match J.member name j with
+  | Some (J.Bool b) -> b
+  | _ -> fail "Spec.of_json: missing bool field %S" name
+
+let list_field name j =
+  match Option.bind (J.member name j) J.to_list with
+  | Some l -> l
+  | None -> fail "Spec.of_json: missing list field %S" name
+
+let space_of_json j =
+  match str_field "kind" j with
+  | "dense" -> Dense (int_field "n" j)
+  | "sparse" ->
+      Sparse
+        {
+          universe = int_field "universe" j;
+          period = int_field "period" j;
+          keep = int_field "keep" j;
+        }
+  | "grid" -> Grid { nx = int_field "nx" j; ny = int_field "ny" j }
+  | k -> fail "Spec.of_json: unknown space kind %S" k
+
+let part_of_json j =
+  let pspec =
+    match str_field "kind" j with
+    | "block" -> Pblock
+    | "grid" -> Pgrid { gx = int_field "gx" j; gy = int_field "gy" j }
+    | "color" -> Pcolor { mul = int_field "mul" j; add = int_field "add" j }
+    | "image" ->
+        Pimage
+          {
+            src = str_field "src" j;
+            mul = int_field "mul" j;
+            add = int_field "add" j;
+            width = int_field "width" j;
+          }
+    | "halo" -> Phalo { src = str_field "src" j }
+    | k -> fail "Spec.of_json: unknown partition kind %S" k
+  in
+  { pname = str_field "name" j; preg = str_field "region" j; pspec }
+
+let task_of_json j =
+  let kind =
+    match str_field "kind" j with
+    | "writer" ->
+        KWriter
+          {
+            wf = str_field "wf" j;
+            rf = str_field "rf" j;
+            mul = int_field "mul" j;
+            add = int_field "add" j;
+            modn = int_field "modn" j;
+          }
+    | "stencil" -> KStencil { wf = str_field "wf" j; rf = str_field "rf" j }
+    | "reduce" ->
+        KReduce
+          {
+            op = redop_of_string (str_field "op" j);
+            df = str_field "df" j;
+            sf = str_field "sf" j;
+          }
+    | "scalar_red" ->
+        KScalarRed
+          { op = redop_of_string (str_field "op" j); rf = str_field "rf" j }
+    | k -> fail "Spec.of_json: unknown task kind %S" k
+  in
+  { tname = str_field "name" j; kind }
+
+let proj_of_json name j =
+  match int_field name j with 0 -> PId | k -> PRot k
+
+let stmt_of_json j =
+  match str_field "kind" j with
+  | "forall" ->
+      SForall
+        {
+          task = str_field "task" j;
+          out = str_field "out" j;
+          inp = str_field "inp" j;
+          inp_proj = proj_of_json "inp_proj" j;
+        }
+  | "reduce_region" ->
+      SReduceRegion
+        {
+          task = str_field "task" j;
+          dst = str_field "dst" j;
+          src = str_field "src" j;
+          src_proj = proj_of_json "src_proj" j;
+        }
+  | "scalar_red" ->
+      SScalarRed
+        {
+          task = str_field "task" j;
+          arg = str_field "arg" j;
+          arg_proj = proj_of_json "arg_proj" j;
+        }
+  | "assign" ->
+      SAssign { mulc = float_field "mulc" j; addc = float_field "addc" j }
+  | k -> fail "Spec.of_json: unknown statement kind %S" k
+
+let of_json j =
+  {
+    name = str_field "name" j;
+    nt = int_field "nt" j;
+    steps = int_field "steps" j;
+    regions =
+      List.map
+        (fun rj ->
+          ( str_field "name" rj,
+            match J.member "space" rj with
+            | Some sj -> space_of_json sj
+            | None -> fail "Spec.of_json: region without space" ))
+        (list_field "regions" j);
+    parts = List.map part_of_json (list_field "parts" j);
+    tasks = List.map task_of_json (list_field "tasks" j);
+    body = List.map stmt_of_json (list_field "body" j);
+    seq_if = bool_field "seq_if" j;
+    loop_if = bool_field "loop_if" j;
+    tail_assign = bool_field "tail_assign" j;
+  }

@@ -1,0 +1,100 @@
+(** Pure-data specifications of conformance programs.
+
+    A [Spec.t] is a first-order description of one randomly generated
+    implicit-parallel program: regions and their index-space shapes,
+    partitions (block / grid / coloring / aliased image and halo ghosts),
+    tasks (element-wise writers, stencils, region reductions, scalar
+    reductions) and the time-loop body. {!Gen.build} elaborates a spec
+    into an {!Ir.Program.t}; because a spec contains no closures it
+    round-trips through JSON, which is what makes fuzzing repro files
+    replayable and the shrinker a pure spec-to-spec transformation. *)
+
+type space_spec =
+  | Dense of int  (** unstructured [{0..n-1}] *)
+  | Sparse of { universe : int; period : int; keep : int }
+      (** unstructured subset: ids [e] with [e mod period < keep] *)
+  | Grid of { nx : int; ny : int }  (** structured [nx x ny] rectangle *)
+
+type part_spec =
+  | Pblock  (** contiguous block partition, [nt] pieces, disjoint *)
+  | Pgrid of { gx : int; gy : int }
+      (** structured tiling, [gx * gy = nt] colors, disjoint *)
+  | Pcolor of { mul : int; add : int }
+      (** coloring [e -> (e * mul + add) mod nt], disjoint, non-contiguous *)
+  | Pimage of { src : string; mul : int; add : int; width : int }
+      (** aliased ghost: image of partition [src] under
+          [e -> {(e * mul + add + k) mod universe | k < width}] *)
+  | Phalo of { src : string }
+      (** structured aliased ghost: each rect of [src] expanded by one in
+          every direction, clipped to the universe *)
+
+type pdecl = { pname : string; preg : string; pspec : part_spec }
+
+type task_kind =
+  | KWriter of { wf : string; rf : string; mul : int; add : int; modn : int }
+      (** writes [wf] of arg 0, reads [rf] of arg 1 at
+          [(id * mul + add) mod modn], guarded by membership *)
+  | KStencil of { wf : string; rf : string }
+      (** writes [wf] of arg 0 from [rf] of arg 1 at [id - 1, id, id + 1] *)
+  | KReduce of { op : Regions.Privilege.redop; df : string; sf : string }
+      (** reduces into [df] of arg 0 a fold over [sf] of arg 1 *)
+  | KScalarRed of { op : Regions.Privilege.redop; rf : string }
+      (** returns a fold of [rf] over arg 0 (for [forall_reduce]) *)
+
+type tdecl = { tname : string; kind : task_kind }
+
+type proj_spec = PId | PRot of int  (** [i -> (i + k) mod nt] *)
+
+type stmt_spec =
+  | SForall of {
+      task : string;
+      out : string;  (** disjoint write partition, identity projection *)
+      inp : string;
+      inp_proj : proj_spec;
+    }
+  | SReduceRegion of {
+      task : string;
+      dst : string;  (** possibly-aliased reduce target, identity proj *)
+      src : string;
+      src_proj : proj_spec;
+    }
+  | SScalarRed of { task : string; arg : string; arg_proj : proj_spec }
+      (** folds into scalar [dt] with the task's operator *)
+  | SAssign of { mulc : float; addc : float }  (** [dt = dt * mulc + addc] *)
+
+type t = {
+  name : string;
+  nt : int;  (** launch-space size = partition color count *)
+  steps : int;  (** time-loop trip count *)
+  regions : (string * space_spec) list;
+  parts : pdecl list;
+  tasks : tdecl list;
+  body : stmt_spec list;  (** the time-loop body *)
+  seq_if : bool;  (** scalar [If] before the loop (sequential prologue) *)
+  loop_if : bool;
+      (** wrap the last loop statement in an [If] — makes the loop
+          ineligible for replication, exercising the sequential fallback *)
+  tail_assign : bool;  (** scalar assign after the loop *)
+}
+
+val space_size : space_spec -> int
+(** Universe size: elements for [Dense], [universe] for [Sparse],
+    [nx * ny] for [Grid]. *)
+
+val size : t -> int
+(** Monotonic size measure: every shrinking transformation strictly
+    decreases it, so greedy minimization terminates. *)
+
+val task_count : t -> int
+(** Number of task-launching statements in the loop body (the measure the
+    acceptance criterion bounds after shrinking). *)
+
+val equal : t -> t -> bool
+
+val redop_to_string : Regions.Privilege.redop -> string
+val redop_of_string : string -> Regions.Privilege.redop
+
+val to_json : t -> Obs.Json.t
+val of_json : Obs.Json.t -> t
+(** Raises [Invalid_argument] on malformed input. [of_json (to_json s)]
+    is structurally equal to [s]. *)

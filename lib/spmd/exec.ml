@@ -116,6 +116,9 @@ type bstate = {
       (* Guards [plans] only: under [`Domains] copies run outside the
          monitor (data movement off the lock), so the memo table needs its
          own mutual exclusion; per-pair plans themselves are single-owner. *)
+  san : Sanitizer.t option;
+      (* Armed by [~sanitize:true]: every instruction reports its declared
+         footprint and every sync primitive its acquire/release edges. *)
 }
 
 (* Trace tids: one track per shard (tids 0..9 are reserved for the driver
@@ -228,7 +231,8 @@ let fields_used_of_partition (source : Program.t) (b : Prog.block) pname =
   !acc
 
 let create_state ?stats ?fault ?ckpt_sink ?(trace = Obs.Trace.null)
-    ?(data_plane = `Plans) ~(source : Program.t) ctx (b : Prog.block) =
+    ?(data_plane = `Plans) ?(sanitize = false) ~(source : Program.t) ctx
+    (b : Prog.block) =
   let isect = Option.map (fun s -> s.isect) stats in
   let st =
     {
@@ -249,6 +253,9 @@ let create_state ?stats ?fault ?ckpt_sink ?(trace = Obs.Trace.null)
       data_plane;
       plans = Hashtbl.create 32;
       plan_mu = Mutex.create ();
+      san =
+        (if sanitize then Some (Sanitizer.create ~nshards:b.Prog.shards)
+         else None);
     }
   in
   List.iter
@@ -414,6 +421,61 @@ let owned_space_colors st sid space =
   let n = Program.find_space st.source space in
   Prog.colors_of_shard ~shards:st.block.Prog.shards ~colors:n sid
 
+(* ---------- sanitizer hooks ----------
+
+   When armed, every instruction reports its declared per-color footprint
+   and every synchronisation primitive its acquire/release edge. Strict
+   privileges (paper §2.1: a task touches exactly what it declared) make
+   the declared footprint a sound stand-in for the kernel's real accesses;
+   the sync edges mirror the executor's own primitives exactly, so any
+   race report means the compiled sync ops do not order two conflicting
+   accesses — independent of the schedule that happened to run. *)
+
+let san_access st ~sid ~part ~color ~fields kind space =
+  match st.san with
+  | None -> ()
+  | Some san ->
+      List.iter
+        (fun field ->
+          Sanitizer.access san ~shard:sid ~part ~color ~field kind space)
+        fields
+
+let san_acquire st ~sid key =
+  match st.san with
+  | None -> ()
+  | Some san -> Sanitizer.acquire san ~shard:sid key
+
+let san_release st ~sid key =
+  match st.san with
+  | None -> ()
+  | Some san -> Sanitizer.release san ~shard:sid key
+
+(* Declared footprint of one color of a launch. *)
+let san_launch st ~sid (l : Types.launch) c =
+  match st.san with
+  | None -> ()
+  | Some san ->
+      let task = Program.find_task st.source l.Types.task in
+      List.iteri
+        (fun k rarg ->
+          match rarg with
+          | Types.Part (pname, Types.Id) ->
+              let inst = instance st pname c in
+              let space = Physical.ispace inst in
+              List.iter
+                (fun (pr : Privilege.t) ->
+                  let kind =
+                    match pr.Privilege.mode with
+                    | Privilege.Read -> Sanitizer.A_read
+                    | Privilege.Read_write -> Sanitizer.A_write
+                    | Privilege.Reduce op -> Sanitizer.A_reduce op
+                  in
+                  Sanitizer.access san ~shard:sid ~part:pname ~color:c
+                    ~field:pr.Privilege.field kind space)
+                (Task.param_privs task k)
+          | Types.Part _ | Types.Whole _ -> ())
+        l.Types.rargs
+
 (* Instances (with their write/reduce-privileged fields) a launch color may
    mutate — the rollback set for a retryable attempt. *)
 let written_instances st (task : Task.t) (l : Types.launch) c =
@@ -448,6 +510,7 @@ let written_instances st (task : Task.t) (l : Types.launch) c =
    have changed. *)
 let run_launch_color st ~sid env (l : Types.launch) c =
   let task = Program.find_task st.source l.Types.task in
+  san_launch st ~sid l c;
   let sargs = Array.map (Eval.sexpr env) l.Types.sargs in
   let accessors =
     Array.of_list
@@ -526,9 +589,14 @@ let try_copy st s (c : Prog.copy) =
       (fun (i, j, space) ->
         let ch = chan st (c.Prog.copy_id, i, j) in
         ch.war <- ch.war - 1;
+        san_acquire st ~sid:s.sid (Sanitizer.K_war (c.Prog.copy_id, i, j));
+        san_access st ~sid:s.sid ~part:ps ~color:i ~fields:c.Prog.fields
+          Sanitizer.A_read space;
         let src = instance st ps i and dst = instance st pd j in
         (match c.Prog.reduce with
         | None ->
+            san_access st ~sid:s.sid ~part:pd ~color:j ~fields:c.Prog.fields
+              Sanitizer.A_write space;
             exec_copy st ~role:role_direct ~cid:c.Prog.copy_id ~i ~j ~space
               ~fields:c.Prog.fields ~reduce:None ~src ~dst ()
         | Some _ ->
@@ -551,6 +619,7 @@ let try_copy st s (c : Prog.copy) =
                   b
             in
             box := (i, snapshot) :: !box);
+        san_release st ~sid:s.sid (Sanitizer.K_raw (c.Prog.copy_id, i, j));
         ch.raw <- ch.raw + 1)
       owned;
     `Progress
@@ -566,7 +635,8 @@ let try_await st s copy_id =
     List.iter
       (fun (i, j, _) ->
         let ch = chan st (copy_id, i, j) in
-        ch.raw <- ch.raw - 1)
+        ch.raw <- ch.raw - 1;
+        san_acquire st ~sid:s.sid (Sanitizer.K_raw (copy_id, i, j)))
       owned;
     (match c.Prog.reduce with
     | None -> ()
@@ -583,6 +653,9 @@ let try_await st s copy_id =
                 box := [];
                 List.iter
                   (fun (i, snapshot) ->
+                    san_access st ~sid:s.sid ~part:pd ~color:j
+                      ~fields:c.Prog.fields Sanitizer.A_write
+                      (Physical.ispace snapshot);
                     exec_copy st ~role:role_apply ~cid:copy_id ~i ~j
                       ~fields:c.Prog.fields ~reduce:(Some op) ~src:snapshot
                       ~dst:(instance st pd j) ())
@@ -596,6 +669,7 @@ let do_release st s copy_id =
   List.iter
     (fun (i, j, _) ->
       let ch = chan st (copy_id, i, j) in
+      san_release st ~sid:s.sid (Sanitizer.K_war (copy_id, i, j));
       ch.war <- ch.war + 1)
     owned
 
@@ -777,6 +851,8 @@ let step st s =
             List.iter
               (fun c ->
                 let inst = instance st part c in
+                san_access st ~sid:s.sid ~part ~color:c ~fields
+                  Sanitizer.A_write (Physical.ispace inst);
                 List.iter
                   (fun fld -> Physical.fill inst fld (Privilege.identity_of op))
                   fields)
@@ -801,6 +877,7 @@ let step st s =
             match s.wait with
             | In_barrier gen ->
                 if st.barrier.generation > gen then begin
+                  san_acquire st ~sid:s.sid Sanitizer.K_barrier;
                   s.wait <- Ready;
                   advance ()
                 end
@@ -811,12 +888,14 @@ let step st s =
                 let gen = st.barrier.generation in
                 st.barrier.arrived <- st.barrier.arrived + 1;
                 s.wait <- In_barrier gen;
+                san_release st ~sid:s.sid Sanitizer.K_barrier;
                 Obs.Trace.instant tr ~tid ~cat:"exec"
                   ~args:[ ("generation", Obs.Trace.Int gen) ]
                   "barrier.arrive";
                 if st.barrier.arrived = st.block.Prog.shards then begin
                   st.barrier.arrived <- 0;
                   st.barrier.generation <- gen + 1;
+                  san_acquire st ~sid:s.sid Sanitizer.K_barrier;
                   s.wait <- Ready;
                   ignore (advance ())
                 end;
@@ -833,6 +912,7 @@ let step st s =
                   match s.wait with
                   | In_ckpt gen ->
                       if st.ckpt_barrier.generation > gen then begin
+                        san_acquire st ~sid:s.sid Sanitizer.K_ckpt;
                         s.wait <- Ready;
                         advance ()
                       end
@@ -841,10 +921,12 @@ let step st s =
                       let gen = st.ckpt_barrier.generation in
                       st.ckpt_barrier.arrived <- st.ckpt_barrier.arrived + 1;
                       s.wait <- In_ckpt gen;
+                      san_release st ~sid:s.sid Sanitizer.K_ckpt;
                       if st.ckpt_barrier.arrived = st.block.Prog.shards then begin
                         st.ckpt_barrier.arrived <- 0;
                         st.ckpt_barrier.generation <- gen + 1;
                         take_checkpoint st ~iter:t ~env:s.env sink;
+                        san_acquire st ~sid:s.sid Sanitizer.K_ckpt;
                         s.wait <- Ready;
                         ignore (advance ())
                       end;
@@ -857,6 +939,7 @@ let step st s =
                 match slot.result with
                 | None -> `Blocked
                 | Some r ->
+                    san_acquire st ~sid:s.sid Sanitizer.K_collective;
                     Eval.set s.env var r;
                     slot.consumed.(s.sid) <- true;
                     if Array.for_all Fun.id slot.consumed then begin
@@ -884,6 +967,7 @@ let step st s =
                   in
                   slot.values <- mine @ slot.values;
                   slot.arrived.(s.sid) <- true;
+                  san_release st ~sid:s.sid Sanitizer.K_collective;
                   s.wait <- In_collective var;
                   Obs.Trace.instant tr ~tid ~cat:"exec"
                     ~args:[ ("var", Obs.Trace.Str var) ]
@@ -1102,6 +1186,8 @@ let drive_domains st (b : Prog.block) master_env ~watchdog ~restore =
           List.iter
             (fun c ->
               let inst = instance st part c in
+              san_access st ~sid ~part ~color:c ~fields Sanitizer.A_write
+                (Physical.ispace inst);
               List.iter
                 (fun fld -> Physical.fill inst fld (Privilege.identity_of op))
                 fields)
@@ -1120,9 +1206,14 @@ let drive_domains st (b : Prog.block) master_env ~watchdog ~restore =
                   Resilience.Diag.At_copy [ chan_diag st (c.Prog.copy_id, i, j) ])
                 (fun () -> ch.war > 0);
               locked (fun () -> ch.war <- ch.war - 1);
+              san_acquire st ~sid (Sanitizer.K_war (c.Prog.copy_id, i, j));
+              san_access st ~sid ~part:ps ~color:i ~fields:c.Prog.fields
+                Sanitizer.A_read space;
               let src = instance st ps i and dst = instance st pd j in
               (match c.Prog.reduce with
               | None ->
+                  san_access st ~sid ~part:pd ~color:j ~fields:c.Prog.fields
+                    Sanitizer.A_write space;
                   exec_copy st ~role:role_direct ~cid:c.Prog.copy_id ~i ~j
                     ~space ~fields:c.Prog.fields ~reduce:None ~src ~dst ()
               | Some _ ->
@@ -1141,6 +1232,11 @@ let drive_domains st (b : Prog.block) master_env ~watchdog ~restore =
                             b
                       in
                       box := (i, snapshot) :: !box));
+              (* The release must precede making the token visible: a
+                 consumer woken by the broadcast acquires [K_raw]
+                 immediately, and must find this shard's accesses already
+                 joined into the key's clock. *)
+              san_release st ~sid (Sanitizer.K_raw (c.Prog.copy_id, i, j));
               locked (fun () ->
                   ch.raw <- ch.raw + 1;
                   Condition.broadcast cv))
@@ -1154,7 +1250,8 @@ let drive_domains st (b : Prog.block) master_env ~watchdog ~restore =
                 ~why:(fun () ->
                   Resilience.Diag.At_await [ chan_diag st (copy_id, i, j) ])
                 (fun () -> ch.raw > 0);
-              locked (fun () -> ch.raw <- ch.raw - 1))
+              locked (fun () -> ch.raw <- ch.raw - 1);
+              san_acquire st ~sid (Sanitizer.K_raw (copy_id, i, j)))
             owned;
           (match c.Prog.reduce with
           | None -> ()
@@ -1177,6 +1274,9 @@ let drive_domains st (b : Prog.block) master_env ~watchdog ~restore =
                   in
                   List.iter
                     (fun (i, snapshot) ->
+                      san_access st ~sid ~part:pd ~color:j
+                        ~fields:c.Prog.fields Sanitizer.A_write
+                        (Physical.ispace snapshot);
                       exec_copy st ~role:role_apply ~cid:copy_id ~i ~j
                         ~fields:c.Prog.fields ~reduce:(Some op) ~src:snapshot
                         ~dst:(instance st pd j) ())
@@ -1184,6 +1284,12 @@ let drive_domains st (b : Prog.block) master_env ~watchdog ~restore =
                 owned)
       | Prog.Release copy_id ->
           let _, owned = owned_dst_pairs st sid copy_id in
+          (* As with [K_raw] above: join this shard's reads into the key
+             before any producer can observe the fresh credit. *)
+          List.iter
+            (fun (i, j, _) ->
+              san_release st ~sid (Sanitizer.K_war (copy_id, i, j)))
+            owned;
           locked (fun () ->
               List.iter
                 (fun (i, j, _) ->
@@ -1199,6 +1305,10 @@ let drive_domains st (b : Prog.block) master_env ~watchdog ~restore =
             locked (fun () ->
                 let gen = st.barrier.generation in
                 st.barrier.arrived <- st.barrier.arrived + 1;
+                (* Inside the monitor: every arrival's release lands in the
+                   key's clock before the last arriver bumps the generation
+                   and wakes the departing shards. *)
+                san_release st ~sid Sanitizer.K_barrier;
                 if st.barrier.arrived = shards then begin
                   st.barrier.arrived <- 0;
                   st.barrier.generation <- gen + 1;
@@ -1216,7 +1326,8 @@ let drive_domains st (b : Prog.block) master_env ~watchdog ~restore =
                   arrived = st.barrier.arrived;
                   generation = st.barrier.generation;
                 })
-            (fun () -> st.barrier.generation > gen)
+            (fun () -> st.barrier.generation > gen);
+          san_acquire st ~sid Sanitizer.K_barrier
       | Prog.Checkpoint { var; every } -> (
           match st.ckpt_sink with
           | None -> ()
@@ -1230,6 +1341,7 @@ let drive_domains st (b : Prog.block) master_env ~watchdog ~restore =
                   locked (fun () ->
                       let gen = st.ckpt_barrier.generation in
                       st.ckpt_barrier.arrived <- st.ckpt_barrier.arrived + 1;
+                      san_release st ~sid Sanitizer.K_ckpt;
                       if st.ckpt_barrier.arrived = shards then begin
                         st.ckpt_barrier.arrived <- 0;
                         take_checkpoint st ~iter:t ~env sink;
@@ -1245,7 +1357,8 @@ let drive_domains st (b : Prog.block) master_env ~watchdog ~restore =
                         arrived = st.ckpt_barrier.arrived;
                         generation = st.ckpt_barrier.generation;
                       })
-                  (fun () -> st.ckpt_barrier.generation > gen)
+                  (fun () -> st.ckpt_barrier.generation > gen);
+                san_acquire st ~sid Sanitizer.K_ckpt
               end)
       | Prog.Launch_collective { space; launch; var; op } as instr ->
           let slot = collective_slot st instr in
@@ -1268,6 +1381,7 @@ let drive_domains st (b : Prog.block) master_env ~watchdog ~restore =
           locked (fun () ->
               slot.values <- mine @ slot.values;
               slot.arrived.(sid) <- true;
+              san_release st ~sid Sanitizer.K_collective;
               if Array.for_all Fun.id slot.arrived then begin
                 let sorted =
                   List.sort (fun (a, _) (b, _) -> Int.compare a b) slot.values
@@ -1284,6 +1398,7 @@ let drive_domains st (b : Prog.block) master_env ~watchdog ~restore =
             ~args:[ ("var", Obs.Trace.Str var) ]
             "collective.deposit";
           wait_until ~why (fun () -> slot.result <> None);
+          san_acquire st ~sid Sanitizer.K_collective;
           let r = locked (fun () -> Option.get slot.result) in
           Eval.set env var r;
           locked (fun () ->
@@ -1431,12 +1546,12 @@ let drive_domains st (b : Prog.block) master_env ~watchdog ~restore =
     | Error _ -> ()
 
 let run_block ?(sched = `Round_robin) ?stats ?fault ?(watchdog = 60.)
-    ?checkpoint_sink ?restore ?(trace = Obs.Trace.null) ?data_plane ~source ctx
-    (b : Prog.block) =
+    ?checkpoint_sink ?restore ?(trace = Obs.Trace.null) ?data_plane ?sanitize
+    ~source ctx (b : Prog.block) =
   let st =
     Obs.Trace.with_span trace ~tid:0 ~cat:"exec" "exec.analyze" (fun () ->
         create_state ?stats ?fault ?ckpt_sink:checkpoint_sink ~trace
-          ?data_plane ~source ctx b)
+          ?data_plane ?sanitize ~source ctx b)
   in
   if Obs.Trace.enabled trace then
     for sid = 0 to b.Prog.shards - 1 do
@@ -1567,7 +1682,7 @@ let run_block ?(sched = `Round_robin) ?stats ?fault ?(watchdog = 60.)
         b.Prog.finalize)
 
 let run ?sched ?stats ?fault ?watchdog ?checkpoint_sink ?restore ?trace
-    ?data_plane (t : Prog.t) ctx =
+    ?data_plane ?sanitize (t : Prog.t) ctx =
   (* A restore resumes the program at its first replicated block: the
      sequential prefix ran before the checkpoint was taken and its effects
      (root instances, scalars) are part of the restored cut. *)
@@ -1579,5 +1694,5 @@ let run ?sched ?stats ?fault ?watchdog ?checkpoint_sink ?restore ?trace
           let restore = if !restoring then restore else None in
           restoring := false;
           run_block ?sched ?stats ?fault ?watchdog ?checkpoint_sink ?restore
-            ?trace ?data_plane ~source:t.Prog.source ctx b)
+            ?trace ?data_plane ?sanitize ~source:t.Prog.source ctx b)
     t.Prog.items

@@ -75,6 +75,7 @@ val run :
   ?restore:Resilience.Checkpoint.t ->
   ?trace:Obs.Trace.t ->
   ?data_plane:[ `Plans | `Scalar ] ->
+  ?sanitize:bool ->
   Prog.t ->
   Interp.Run.context ->
   unit
@@ -109,7 +110,15 @@ val run :
     loops ({!Copy_plan}), memoized per (copy, src color, dst color, role)
     and shared by all schedulers; [`Scalar] is the per-element ablation
     baseline ({!Physical.copy_into}/{!Physical.reduce_into}). Results are
-    bitwise identical either way. *)
+    bitwise identical either way.
+
+    [sanitize] (default [false]) arms the dynamic race detector
+    ({!Sanitizer}): every instruction reports its declared per-element
+    footprint and every synchronisation primitive its happens-before
+    edge; two conflicting cross-shard accesses with no ordering through
+    the executor's own primitives raise {!Sanitizer.Race}. Detection is
+    happens-before based, so a dropped sync op is caught on any schedule,
+    including the deterministic stepper. *)
 
 val run_block :
   ?sched:sched ->
@@ -120,6 +129,7 @@ val run_block :
   ?restore:Resilience.Checkpoint.t ->
   ?trace:Obs.Trace.t ->
   ?data_plane:[ `Plans | `Scalar ] ->
+  ?sanitize:bool ->
   source:Ir.Program.t ->
   Interp.Run.context ->
   Prog.block ->

@@ -1,0 +1,114 @@
+(** The explicit-SPMD program representation control replication compiles
+    to (paper Fig. 4d).
+
+    A replicated block is executed by [shards] long-running shard tasks,
+    each running the same instruction stream. Work is divided by
+    ownership: launch-space colors are block-distributed over shards; a
+    shard executes the iterations it owns, issues the copies whose
+    {e source} subregion it owns (producer-issued copies, §3.4), and
+    synchronises as consumer for the copies whose destination it owns.
+
+    Under data replication (§3.1) every (partition, color) pair has its
+    own physical instance, owned by the color's owner shard. Parent
+    regions keep separate storage touched only by the initialization /
+    finalization copies, which run before shards start and after they
+    finish. *)
+
+(** Operand of a copy: a whole region (init/finalize) or a partition. *)
+type operand = Oregion of string | Opart of string
+
+type copy = {
+  copy_id : int;  (** unique within the program; keys sync channels *)
+  src : operand;
+  dst : operand;
+  fields : Regions.Field.t list;
+  reduce : Regions.Privilege.redop option;
+      (** reduction-apply copy (§4.3) *)
+  pairs : [ `Dense | `Sparse ];
+      (** [`Dense]: all (i,j) color pairs are candidates, intersections
+          computed per copy on the fly (the O(N²) behaviour §3.3
+          removes). [`Sparse]: only the precomputed non-empty
+          intersection pairs. *)
+}
+
+type instr =
+  | Launch of { space : string; launch : Ir.Types.launch }
+      (** for i in my colors of space: task(...) *)
+  | Launch_collective of {
+      space : string;
+      launch : Ir.Types.launch;
+      var : string;
+      op : Regions.Privilege.redop;
+    }  (** local partials + dynamic collective + broadcast (§4.4) *)
+  | Copy of copy  (** producer side: issue owned copies, with p2p sync *)
+  | Await of int  (** consumer side: wait for incoming copies [copy_id] *)
+  | Release of int
+      (** consumer side: grant write-after-read credit for [copy_id]'s
+          next occurrence *)
+  | Barrier  (** global barrier (naive sync mode, Fig. 4c) *)
+  | Fill of {
+      part : string;
+      fields : Regions.Field.t list;
+      op : Regions.Privilege.redop;
+    }
+      (** reset a reduction-temporary partition to the operator identity
+          before the launch that reduces into it (§4.3) *)
+  | Assign of string * Ir.Types.sexpr  (** replicated scalar state *)
+  | For_time of { var : string; count : int; body : instr list }
+  | Checkpoint of { var : string; every : int }
+      (** resilience: when [(var + 1) mod every = 0], quiesce all shards
+          on a dedicated barrier and serialize the block's state at this
+          time-loop boundary; a no-op when the executor has no checkpoint
+          sink configured *)
+
+(** One control-replicated block. [init]/[finalize] run sequentially
+    outside the shards. *)
+type block = {
+  shards : int;
+  init : instr list;
+  body : instr list;
+  finalize : instr list;
+  copies : copy list;  (** all copies appearing anywhere, by copy_id *)
+  credits : (int * int) list;
+      (** copy_id -> initial write-after-read credits: 1 when the copy's
+          Release follows it in program order (the first occurrence may
+          proceed), 0 when the Release precedes it within the same
+          iteration. Missing entries default to 1. *)
+}
+
+(** A compiled program interleaves sequential statements (run by the
+    master, shared-memory semantics) with replicated blocks. *)
+type item = Seq of Ir.Types.stmt list | Replicated of block
+
+type t = {
+  source : Ir.Program.t;  (** environment: regions, partitions, tasks *)
+  items : item list;
+}
+
+val owner_of_color : shards:int -> colors:int -> int -> int
+(** Block distribution of [colors] over [shards] (§3.5); raises
+    [Invalid_argument] on an out-of-range color. *)
+
+val colors_of_shard : shards:int -> colors:int -> int -> int list
+(** The colors shard [s] owns, ascending (empty when over-sharded). *)
+
+val first_time_loop : block -> int option
+(** Index in [body] of the first top-level [For_time] — the loop
+    checkpoints attach to and restarts resume into. *)
+
+val with_checkpoints : every:int -> block -> block
+(** Append a [Checkpoint] to the first time loop's body; identity when
+    the block has no time loop. Raises [Invalid_argument] when
+    [every < 1]. *)
+
+val map_blocks : (block -> block) -> t -> t
+
+(** {1 Pretty printing} (golden tests, [crc inspect]) *)
+
+val pp_operand : Format.formatter -> operand -> unit
+val pp_copy : Format.formatter -> copy -> unit
+val pp_instr : Format.formatter -> instr -> unit
+val pp_instrs : Format.formatter -> instr list -> unit
+val pp_block : Format.formatter -> block -> unit
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

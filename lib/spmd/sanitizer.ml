@@ -1,0 +1,179 @@
+(* FastTrack-style vector-clock race detection over the executor's shard
+   streams.
+
+   Model: shard s carries a vector clock vc.(s) (vc.(s).(s) is its current
+   epoch, starting at 1). Every synchronisation object the executor
+   actually uses — a (copy, src color, dst color) credit channel in either
+   direction, the block barrier, the checkpoint barrier, the scalar
+   collective — is a key with its own clock. Passing a blocking point
+   acquires the key (join key clock into shard clock); publishing a signal
+   releases it (join shard clock into key clock, then tick the shard).
+   An access epoch (u, t) happens-before shard s's current point iff
+   u = s or t <= vc.(s).(u).
+
+   Per-element state is keyed by (partition, color, field id, element id):
+   instances are per (partition, color), so two accesses can only be the
+   same memory when all four coordinates match. We keep the last write
+   epoch, per-shard read times, and per-shard reduce times with the last
+   operator (same-operator reductions commute; an operator change makes
+   earlier reductions conflicting, so it is checked like a write and the
+   slot is reset). All state sits behind one mutex — safe under the
+   [`Domains] backend, and the lock introduces no happens-before edges of
+   its own because shard clocks only advance via acquire/release. *)
+
+type access = A_read | A_write | A_reduce of Regions.Privilege.redop
+
+type sync_key =
+  | K_war of int * int * int
+  | K_raw of int * int * int
+  | K_barrier
+  | K_ckpt
+  | K_collective
+
+exception Race of string
+
+type cell = {
+  mutable w_shard : int; (* -1 = never written *)
+  mutable w_time : int;
+  r_times : int array; (* per shard; 0 = never read *)
+  red_times : int array; (* per shard; 0 = no pending reduce *)
+  mutable red_op : Regions.Privilege.redop option;
+}
+
+type t = {
+  nshards : int;
+  mu : Mutex.t;
+  vcs : int array array;
+  keys : (sync_key, int array) Hashtbl.t;
+  cells : (string * int * int * int, cell) Hashtbl.t;
+}
+
+let create ~nshards =
+  let vcs =
+    Array.init nshards (fun s ->
+        Array.init nshards (fun u -> if u = s then 1 else 0))
+  in
+  {
+    nshards;
+    mu = Mutex.create ();
+    vcs;
+    keys = Hashtbl.create 64;
+    cells = Hashtbl.create 1024;
+  }
+
+let locked t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
+let join dst src =
+  Array.iteri (fun i v -> if v > dst.(i) then dst.(i) <- v) src
+
+let key_clock t key =
+  match Hashtbl.find_opt t.keys key with
+  | Some c -> c
+  | None ->
+      let c = Array.make t.nshards 0 in
+      Hashtbl.add t.keys key c;
+      c
+
+let acquire t ~shard key =
+  locked t (fun () -> join t.vcs.(shard) (key_clock t key))
+
+let release t ~shard key =
+  locked t (fun () ->
+      join (key_clock t key) t.vcs.(shard);
+      t.vcs.(shard).(shard) <- t.vcs.(shard).(shard) + 1)
+
+(* (u, time) happened-before shard s's current point? *)
+let ordered t ~shard u time = u = shard || time <= t.vcs.(shard).(u)
+
+let access_name = function
+  | A_read -> "read"
+  | A_write -> "write"
+  | A_reduce op -> "reduce(" ^ Regions.Privilege.redop_to_string op ^ ")"
+
+let race ~shard ~part ~color ~field ~elem kind other_shard other_kind =
+  raise
+    (Race
+       (Printf.sprintf
+          "data race on %s[%d].%s element %d: %s by shard %d not ordered \
+           with %s by shard %d"
+          part color
+          (Regions.Field.name field)
+          elem (access_name kind) shard other_kind other_shard))
+
+let cell_of t key =
+  match Hashtbl.find_opt t.cells key with
+  | Some c -> c
+  | None ->
+      let c =
+        {
+          w_shard = -1;
+          w_time = 0;
+          r_times = Array.make t.nshards 0;
+          red_times = Array.make t.nshards 0;
+          red_op = None;
+        }
+      in
+      Hashtbl.add t.cells key c;
+      c
+
+(* Check every recorded epoch of a per-shard time table against the
+   current shard, then visit. *)
+let check_times t ~shard ~part ~color ~field ~elem kind times what =
+  Array.iteri
+    (fun u time ->
+      if time > 0 && not (ordered t ~shard u time) then
+        race ~shard ~part ~color ~field ~elem kind u what)
+    times
+
+let access t ~shard ~part ~color ~field access_kind space =
+  locked t (fun () ->
+      let now = t.vcs.(shard).(shard) in
+      let fid = Regions.Field.id field in
+      Regions.Index_space.iter_ids
+        (fun elem ->
+          let c = cell_of t (part, color, fid, elem) in
+          let check_write () =
+            if c.w_shard >= 0 && not (ordered t ~shard c.w_shard c.w_time)
+            then
+              race ~shard ~part ~color ~field ~elem access_kind c.w_shard
+                "write"
+          in
+          let check_reads () =
+            check_times t ~shard ~part ~color ~field ~elem access_kind
+              c.r_times "read"
+          in
+          let check_reduces () =
+            check_times t ~shard ~part ~color ~field ~elem access_kind
+              c.red_times
+              (match c.red_op with
+              | Some op -> access_name (A_reduce op)
+              | None -> "reduce")
+          in
+          match access_kind with
+          | A_read ->
+              check_write ();
+              check_reduces ();
+              c.r_times.(shard) <- now
+          | A_write ->
+              check_write ();
+              check_reads ();
+              check_reduces ();
+              c.w_shard <- shard;
+              c.w_time <- now;
+              Array.fill c.r_times 0 t.nshards 0;
+              Array.fill c.red_times 0 t.nshards 0;
+              c.red_op <- None
+          | A_reduce op ->
+              check_write ();
+              check_reads ();
+              (match c.red_op with
+              | Some prev when prev <> op ->
+                  (* Operator change: earlier reductions conflict. *)
+                  check_reduces ();
+                  Array.fill c.red_times 0 t.nshards 0
+              | _ -> ());
+              c.red_op <- Some op;
+              c.red_times.(shard) <- now)
+        space)

@@ -1,0 +1,68 @@
+(** Dynamic race sanitizer for SPMD execution.
+
+    An independent check that the compiler's sync insertion ([Cr.Sync])
+    ordered every pair of conflicting cross-shard accesses: the executor,
+    when armed with [~sanitize:true], reports each instruction's data
+    footprint (per partition color, field and element) and each use of a
+    synchronisation primitive (channel credits, barriers, the scalar
+    collective) to this module, which maintains FastTrack-style vector
+    clocks per shard and per sync object and raises {!Race} on the first
+    conflicting access pair with no happens-before path through the
+    executor's own primitives.
+
+    Because privileges are strict (a task touches exactly what it
+    declared — paper §2.1), declared footprints are sound stand-ins for
+    the instructions' real accesses, and because all cross-shard data
+    motion goes through copies guarded by credit channels, a dropped or
+    misplaced sync op surfaces as a race {e on any schedule}: detection is
+    happens-before based, not interleaving based.
+
+    The detector itself is internally synchronised and adds no
+    happens-before edges of its own: shard clocks only advance through
+    the {!acquire}/{!release} calls mirroring the executor's primitives,
+    so running it under the [`Domains] backend neither masks nor
+    fabricates races. *)
+
+type t
+
+exception Race of string
+(** Human-readable description of the two unsynchronised conflicting
+    accesses: partition, color, field, element, shards and access kinds. *)
+
+type access =
+  | A_read
+  | A_write
+  | A_reduce of Regions.Privilege.redop
+      (** reductions with the same operator commute and do not conflict *)
+
+type sync_key =
+  | K_war of int * int * int
+      (** write-after-read credit of (copy id, src color, dst color) *)
+  | K_raw of int * int * int
+      (** read-after-write token of (copy id, src color, dst color) *)
+  | K_barrier  (** the block's global barrier *)
+  | K_ckpt  (** the checkpoint barrier *)
+  | K_collective  (** the dynamic scalar-reduction collective *)
+
+val create : nshards:int -> t
+
+val access :
+  t ->
+  shard:int ->
+  part:string ->
+  color:int ->
+  field:Regions.Field.t ->
+  access ->
+  Regions.Index_space.t ->
+  unit
+(** Record one instruction's footprint over every element of the given
+    space, checking each element against the recorded epochs of other
+    shards. Raises {!Race} on the first conflict. *)
+
+val acquire : t -> shard:int -> sync_key -> unit
+(** The shard passed a blocking point guarded by [key]: join the key's
+    clock into the shard's clock. *)
+
+val release : t -> shard:int -> sync_key -> unit
+(** The shard published a signal on [key]: join the shard's clock into
+    the key's clock, then advance the shard's epoch. *)

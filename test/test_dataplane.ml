@@ -7,7 +7,6 @@
 
 open Geometry
 open Regions
-open Ir
 
 let check = Alcotest.check
 
@@ -28,31 +27,29 @@ let clone inst =
     (Physical.fields inst);
   c
 
-(* Random sparse subsets of a 200-element universe: aliased, non-covering,
-   possibly empty intersections. *)
-let gen_iset =
-  QCheck2.Gen.(
-    list_size (int_range 0 40) (int_range 0 199) >|= Sorted_iset.of_list)
-
 let redops = [ Privilege.Sum; Privilege.Prod; Privilege.Min; Privilege.Max ]
 
+(* Index-space pairs come from the conformance generator: structured
+   (rectangle unions) and unstructured (sparse id sets) over one shared
+   universe — aliased, non-covering, possibly empty intersections. *)
 let prop_plan_matches_transfer =
   qtest "plan replay = per-element transfer (copy + reduce)" ~count:300
-    QCheck2.Gen.(triple gen_iset gen_iset (int_range 0 3))
-    (fun (a, b, opi) ->
-      let sa = Index_space.of_iset ~universe_size:200 a
-      and sb = Index_space.of_iset ~universe_size:200 b in
+    QCheck2.Gen.(pair (int_range 0 1_000_000) (int_range 0 3))
+    (fun (seed, opi) ->
+      let sa, sb =
+        Conform.Gen.random_space_pair (Random.State.make [| 0xDA7A; seed |])
+      in
       let src = Physical.create_over sa [ fv; fw ]
       and dst0 = Physical.create_over sb [ fv; fw ] in
       List.iter
         (fun f ->
-          Sorted_iset.iter
+          Index_space.iter_ids
             (fun id -> Physical.set src f id (Float.of_int id +. 0.25))
-            a)
+            sa)
         [ fv; fw ];
-      Sorted_iset.iter
+      Index_space.iter_ids
         (fun id -> Physical.set dst0 fv id (-3.5 -. Float.of_int id))
-        b;
+        sb;
       let op = List.nth redops opi in
       let d1 = clone dst0 and d2 = clone dst0 in
       Physical.copy_into ~fields:[ fv ] ~src ~dst:d1 ();
@@ -92,34 +89,46 @@ let test_plan_structured_halo () =
   check Alcotest.int "fused runs" 1 (Spmd.Copy_plan.nruns plan)
 
 (* Whole-program equivalence: every scheduler, plans vs the per-element
-   ablation vs the sequential interpreter, on random programs whose copies
-   cross aliased image partitions. *)
+   ablation vs the sequential interpreter, on conformance-generated
+   programs (sparse/aliased partitions, ghost exchanges, reductions).
+   Snapshot every root region and all scalars — field identities are
+   minted fresh per build, so key on names. *)
 let prop_plans_match_scalar =
+  let snapshot ctx =
+    ( List.sort compare (Interp.Run.scalars ctx),
+      List.map
+        (fun (name, inst) ->
+          ( name,
+            List.sort compare
+              (List.map
+                 (fun f -> (Field.name f, Physical.to_alist inst f))
+                 (Physical.fields inst)) ))
+        (Interp.Run.root_instances ctx) )
+  in
   qtest "Plans = Scalar = sequential under all schedulers" ~count:20
     QCheck2.Gen.(int_range 0 100000)
     (fun seed ->
+      let spec = Conform.Gen.spec seed in
       let spmd data_plane sched =
-        let p = Test_fixtures.Fixtures.random_program seed in
-        let compiled = Cr.Pipeline.compile (Cr.Pipeline.default ~shards:3) p in
+        let compiled =
+          Cr.Pipeline.compile
+            (Cr.Pipeline.default ~shards:3)
+            (Conform.Gen.build spec)
+        in
         let ctx = Interp.Run.create compiled.Spmd.Prog.source in
         Spmd.Exec.run ~sched ~data_plane compiled ctx;
-        Physical.to_alist
-          (Interp.Run.region_instance ctx (Program.find_region p "Ra"))
-          fv
+        snapshot ctx
       in
       let reference =
-        let p = Test_fixtures.Fixtures.random_program seed in
-        let ctx = Interp.Run.create p in
+        let ctx = Interp.Run.create (Conform.Gen.build spec) in
         Interp.Run.run ctx;
-        Physical.to_alist
-          (Interp.Run.region_instance ctx (Program.find_region p "Ra"))
-          fv
+        snapshot ctx
       in
+      let agrees st = compare st reference = 0 in
       List.for_all
-        (fun sched ->
-          spmd `Plans sched = reference && spmd `Scalar sched = reference)
+        (fun sched -> agrees (spmd `Plans sched) && agrees (spmd `Scalar sched))
         [ `Round_robin; `Random (seed land 0xff) ]
-      && spmd `Plans `Domains = reference)
+      && agrees (spmd `Plans `Domains))
 
 let test_plan_stats () =
   let run data_plane =
@@ -338,6 +347,38 @@ let test_isect_cache () =
     (normalize d.Spmd.Intersections.items
     = normalize fresh.Spmd.Intersections.items)
 
+let test_isect_cache_cap_and_stats_reset () =
+  (* [fresh_stats] starts zeroed — the only reset mechanism there is. *)
+  let z = Spmd.Intersections.fresh_stats () in
+  check Alcotest.int "fresh stats: hits zero" 0 z.Spmd.Intersections.cache_hits;
+  check Alcotest.int "fresh stats: candidates zero" 0
+    z.Spmd.Intersections.candidates;
+  (* The cache is bounded: filling past [cache_cap] blows the whole table
+     away, so early entries are misses again while late ones stay hot, and
+     the cache keeps functioning afterwards. *)
+  Spmd.Intersections.clear_cache ();
+  let sets = [| Sorted_iset.of_list [ 1; 2; 3 ] |] in
+  let src = mk_unstructured_partition "capsrc" sets in
+  let n = Spmd.Intersections.cache_cap + 60 in
+  let dsts =
+    Array.init n (fun i ->
+        mk_unstructured_partition (Printf.sprintf "capdst%d" i) sets)
+  in
+  Array.iter
+    (fun dst -> ignore (Spmd.Intersections.compute_cached ~src ~dst ()))
+    dsts;
+  let stats = Spmd.Intersections.fresh_stats () in
+  ignore (Spmd.Intersections.compute_cached ~stats ~src ~dst:dsts.(n - 1) ());
+  check Alcotest.int "survivor after eviction hits" 1
+    stats.Spmd.Intersections.cache_hits;
+  ignore (Spmd.Intersections.compute_cached ~stats ~src ~dst:dsts.(0) ());
+  check Alcotest.int "evicted entry misses" 1
+    stats.Spmd.Intersections.cache_hits;
+  ignore (Spmd.Intersections.compute_cached ~stats ~src ~dst:dsts.(0) ());
+  check Alcotest.int "re-inserted entry hits again" 2
+    stats.Spmd.Intersections.cache_hits;
+  Spmd.Intersections.clear_cache ()
+
 let prop_cached_equals_compute =
   qtest "compute_cached = compute on random partition pairs" ~count:60
     QCheck2.Gen.(
@@ -380,6 +421,8 @@ let () =
       ( "intersection cache",
         [
           Alcotest.test_case "hits and clears" `Quick test_isect_cache;
+          Alcotest.test_case "cap eviction and stats reset" `Quick
+            test_isect_cache_cap_and_stats_reset;
           prop_cached_equals_compute;
         ] );
     ]
