@@ -1,0 +1,165 @@
+(* §Distributed (PR5): wire traffic of the message-passing backend.
+
+   Runs the four mini-apps at 2/4/8 shards over the deterministic
+   in-process loopback transport and over real multi-process Unix-domain
+   sockets, counting frames and bytes on the wire (length prefixes
+   included) and normalizing per time-step. Every run is verified
+   bitwise against the sequential interpreter; a mismatch fails the
+   bench. Writes BENCH_pr5.json (schema "crc-bench/1"), reads it back
+   and schema-checks it, exiting non-zero on any failure.
+
+   Usage: net_bench [--out PATH] *)
+
+let json_path =
+  let rec find i =
+    if i + 1 >= Array.length Sys.argv then None
+    else if Sys.argv.(i) = "--out" then Some Sys.argv.(i + 1)
+    else find (i + 1)
+  in
+  Option.value (find 1) ~default:"BENCH_pr5.json"
+
+(* All apps at 8 nodes: divisible by every shard count measured, and a
+   configuration whose compiled execution is bitwise equal to the
+   interpreter for every app (circuit's 4-node graph is not). *)
+let nodes = 8
+
+let apps =
+  [
+    ( "stencil",
+      (fun () -> Apps.Stencil.program (Apps.Stencil.test_config ~nodes)),
+      (Apps.Stencil.test_config ~nodes).Apps.Stencil.timesteps );
+    ( "circuit",
+      (fun () -> Apps.Circuit.program (Apps.Circuit.test_config ~nodes)),
+      (Apps.Circuit.test_config ~nodes).Apps.Circuit.timesteps );
+    ( "pennant",
+      (fun () -> Apps.Pennant.program (Apps.Pennant.test_config ~nodes)),
+      (Apps.Pennant.test_config ~nodes).Apps.Pennant.timesteps );
+    ( "miniaero",
+      (fun () -> Apps.Miniaero.program (Apps.Miniaero.test_config ~nodes)),
+      (Apps.Miniaero.test_config ~nodes).Apps.Miniaero.timesteps );
+  ]
+
+let shard_counts = [ 2; 4; 8 ]
+
+let reference build =
+  let ctx = Interp.Run.create (build ()) in
+  Interp.Run.run ctx;
+  Net.Launch.snapshot_state ctx
+
+(* One measured run: (msgs, bytes, matched). *)
+let run_one ~transport ~shards build expected =
+  let compiled = Cr.Pipeline.compile (Cr.Pipeline.default ~shards) (build ()) in
+  match transport with
+  | `Loopback ->
+      let stats = Spmd.Exec.fresh_stats () in
+      let ctx = Interp.Run.create compiled.Spmd.Prog.source in
+      Net.Launch.run_loopback ~stats compiled ctx;
+      ( Atomic.get stats.Spmd.Exec.msgs_sent,
+        Atomic.get stats.Spmd.Exec.bytes_on_wire,
+        Net.Launch.states_equal expected (Net.Launch.snapshot_state ctx) )
+  | `Unix ->
+      let o = Net.Launch.launch ~transport:`Unix ~watchdog:60. compiled in
+      let matched =
+        o.Net.Launch.ok
+        &&
+        match o.Net.Launch.state with
+        | Some st -> Net.Launch.states_equal expected st
+        | None -> false
+      in
+      (o.Net.Launch.msgs, o.Net.Launch.bytes_on_wire, matched)
+
+let () =
+  Printf.printf "=== Distributed: wire traffic (%d nodes) ===\n%!" nodes;
+  Printf.printf "%10s %7s %9s %8s %12s %10s %8s\n" "app" "shards" "transport"
+    "msgs" "bytes" "msgs/step" "match";
+  let failures = ref 0 in
+  let rows =
+    List.concat_map
+      (fun (name, build, timesteps) ->
+        let expected = reference build in
+        List.concat_map
+          (fun shards ->
+            List.map
+              (fun (tname, transport) ->
+                let msgs, bytes, matched =
+                  run_one ~transport ~shards build expected
+                in
+                if not matched then incr failures;
+                let per_step = float_of_int msgs /. float_of_int timesteps in
+                Printf.printf "%10s %7d %9s %8d %12d %10.1f %8b\n%!" name
+                  shards tname msgs bytes per_step matched;
+                Obs.Json.Obj
+                  [
+                    ("app", Obs.Json.Str name);
+                    ("shards", Obs.Json.Int shards);
+                    ("transport", Obs.Json.Str tname);
+                    ("timesteps", Obs.Json.Int timesteps);
+                    ("msgs", Obs.Json.Int msgs);
+                    ("bytes_on_wire", Obs.Json.Int bytes);
+                    ("msgs_per_timestep", Obs.Json.Float per_step);
+                    ( "bytes_per_timestep",
+                      Obs.Json.Float
+                        (float_of_int bytes /. float_of_int timesteps) );
+                    ("matched", Obs.Json.Bool matched);
+                  ])
+              [ ("loopback", `Loopback); ("unix", `Unix) ])
+          shard_counts)
+      apps
+  in
+  let artifact =
+    Obs.Json.Obj
+      [
+        ("schema", Obs.Json.Str "crc-bench/1");
+        ("section", Obs.Json.Str "distributed");
+        ("nodes", Obs.Json.Int nodes);
+        ("distributed", Obs.Json.List rows)
+      ]
+  in
+  let oc = open_out json_path in
+  Obs.Json.to_channel ~indent:2 oc artifact;
+  output_char oc '\n';
+  close_out oc;
+  (* Self-check: parse the artifact back and validate shape and values. *)
+  let fail msg =
+    Printf.eprintf "artifact %s: %s\n%!" json_path msg;
+    exit 1
+  in
+  let j =
+    let ic = open_in json_path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    match Obs.Json.of_string s with
+    | Ok j -> j
+    | Error e -> fail ("unparseable: " ^ e)
+  in
+  (match Option.bind (Obs.Json.member "schema" j) Obs.Json.string_value with
+  | Some "crc-bench/1" -> ()
+  | _ -> fail "schema is not crc-bench/1");
+  (match Option.bind (Obs.Json.member "distributed" j) Obs.Json.to_list with
+  | Some entries ->
+      let expect = List.length apps * List.length shard_counts * 2 in
+      if List.length entries <> expect then
+        fail
+          (Printf.sprintf "expected %d entries, found %d" expect
+             (List.length entries));
+      List.iter
+        (fun e ->
+          let num k =
+            match Option.bind (Obs.Json.member k e) Obs.Json.number with
+            | Some v -> v
+            | None -> fail (Printf.sprintf "entry missing %s" k)
+          in
+          if num "msgs" <= 0. then fail "msgs must be positive";
+          if num "bytes_on_wire" <= 0. then fail "bytes must be positive";
+          match Obs.Json.member "matched" e with
+          | Some (Obs.Json.Bool true) -> ()
+          | _ -> fail "an entry did not match the reference")
+        entries
+  | None -> fail "no distributed section");
+  if !failures > 0 then begin
+    Printf.eprintf "%d run(s) diverged from the sequential reference\n%!"
+      !failures;
+    exit 1
+  end;
+  Printf.printf "artifact %s: schema + reference checks OK\n%!" json_path

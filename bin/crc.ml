@@ -345,7 +345,7 @@ let table1 nodes =
 
 (* ---------- fuzz ---------- *)
 
-let fuzz seed count max_tasks mutate shards out replay =
+let fuzz seed count max_tasks mutate shards no_net out replay =
   match replay with
   | Some path -> (
       match Conform.Fuzz.replay path with
@@ -359,14 +359,15 @@ let fuzz seed count max_tasks mutate shards out replay =
   | None -> (
       let report =
         Conform.Fuzz.campaign ~out ?max_tasks ?mutate ?shards
-          ~log:print_endline ~seed ~count ()
+          ~net:(not no_net) ~log:print_endline ~seed ~count ()
       in
       match report.Conform.Fuzz.repro with
       | None ->
           Printf.printf
             "fuzz: %d case(s) passed (seed %d, all schedulers x both data \
-             planes, sanitizer armed)\n"
+             planes%s, sanitizer armed)\n"
             report.Conform.Fuzz.tested seed
+            (if no_net then "" else " + net loopback")
       | Some (r, path) ->
           Format.printf "fuzz: case failed after %d test(s): %a@."
             report.Conform.Fuzz.tested Conform.Oracle.pp_failure
@@ -408,6 +409,14 @@ let fuzz_cmd =
       & opt string "fuzz-repro.json"
       & info [ "out" ] ~docv:"FILE" ~doc:"Where to write a minimal repro.")
   in
+  let no_net =
+    Arg.(
+      value & flag
+      & info [ "no-net" ]
+          ~doc:
+            "Skip the net/loopback backend column (the distributed \
+             message-passing engine over the in-process transport).")
+  in
   let replay =
     Arg.(
       value
@@ -420,12 +429,163 @@ let fuzz_cmd =
        ~doc:
          "Differential conformance fuzzing: random well-privileged programs \
           run through the implicit interpreter and through the full \
-          compile+SPMD pipeline under every scheduler and data plane with \
-          the race sanitizer armed; failures are auto-shrunk to a replayable \
-          repro file.")
+          compile+SPMD pipeline under every scheduler and data plane (plus \
+          the distributed loopback backend) with the race sanitizer armed; \
+          failures are auto-shrunk to a replayable repro file.")
     Term.(
-      const fuzz $ seed $ count $ max_tasks $ mutate $ shards_arg $ out
-      $ replay)
+      const fuzz $ seed $ count $ max_tasks $ mutate $ shards_arg $ no_net
+      $ out $ replay)
+
+(* ---------- launch ---------- *)
+
+let transport_conv =
+  let parse = function
+    | "loopback" -> Ok `Loopback
+    | "unix" -> Ok `Unix
+    | "tcp" -> Ok `Tcp
+    | s -> Error (`Msg (Printf.sprintf "unknown transport %S" s))
+  in
+  let print ppf t =
+    Format.pp_print_string ppf
+      (match t with `Loopback -> "loopback" | `Unix -> "unix" | `Tcp -> "tcp")
+  in
+  Arg.conv (parse, print)
+
+let launch app nodes shards transport watchdog fail_rate fault_seed kill
+    trace_path metrics =
+  let shards = Option.value ~default:nodes shards in
+  let trace, registry = obs_setup trace_path in
+  let reference =
+    let p = test_program app nodes in
+    let ctx = Interp.Run.create p in
+    Interp.Run.run ctx;
+    Net.Launch.snapshot_state ctx
+  in
+  let compiled =
+    Cr.Pipeline.compile ~trace (Cr.Pipeline.default ~shards)
+      (test_program app nodes)
+  in
+  let stats = Spmd.Exec.fresh_stats ~registry () in
+  let fault =
+    if fail_rate > 0. then
+      Some
+        (Resilience.Fault.create
+           ~policy:
+             {
+               Resilience.Fault.no_faults with
+               net_fail_rate = fail_rate;
+               net_retries = 5;
+               max_faults = 10_000;
+             }
+           ~seed:fault_seed ())
+    else None
+  in
+  let tname =
+    match transport with `Loopback -> "loopback" | `Unix -> "unix" | `Tcp -> "tcp"
+  in
+  Printf.printf "distributed run: %d shard(s) over %s\n%!" shards tname;
+  let finish ~ok ~matched ~msgs ~bytes ~retries =
+    Printf.printf "snapshot == sequential reference: %b\n" matched;
+    Printf.printf "frames sent: %d, bytes on wire: %d, send retries: %d\n" msgs
+      bytes retries;
+    obs_finish ~trace_path ~metrics trace registry;
+    if not (ok && matched) then exit 1
+  in
+  match transport with
+  | `Loopback -> (
+      (match kill with
+      | Some _ ->
+          prerr_endline "crc launch: --kill requires a socket transport";
+          exit 2
+      | None -> ());
+      let ctx = Interp.Run.create compiled.Spmd.Prog.source in
+      match Net.Launch.run_loopback ?fault ~stats ~trace compiled ctx with
+      | () ->
+          let matched =
+            Net.Launch.states_equal reference (Net.Launch.snapshot_state ctx)
+          in
+          finish ~ok:true ~matched
+            ~msgs:(Atomic.get stats.Spmd.Exec.msgs_sent)
+            ~bytes:(Atomic.get stats.Spmd.Exec.bytes_on_wire)
+            ~retries:0
+      | exception Spmd.Exec.Deadlock d ->
+          print_string (Resilience.Diag.to_string d);
+          obs_finish ~trace_path ~metrics trace registry;
+          exit 3)
+  | (`Unix | `Tcp) as transport ->
+      let o =
+        Net.Launch.launch ~transport ?fault ?kill ~watchdog ~stats ~trace
+          compiled
+      in
+      List.iter (fun line -> Printf.printf "  %s\n" line) o.Net.Launch.detail;
+      (match o.Net.Launch.diag with
+      | Some d -> print_string (Resilience.Diag.to_string d)
+      | None -> ());
+      List.iter
+        (fun (rank, status) ->
+          if status <> "exit 0" then
+            Printf.printf "  rank %d: %s\n" rank status)
+        o.Net.Launch.exits;
+      let matched =
+        match o.Net.Launch.state with
+        | Some st -> Net.Launch.states_equal reference st
+        | None -> false
+      in
+      finish ~ok:o.Net.Launch.ok ~matched ~msgs:o.Net.Launch.msgs
+        ~bytes:o.Net.Launch.bytes_on_wire ~retries:o.Net.Launch.send_retries
+
+let launch_cmd =
+  let transport =
+    Arg.(
+      value
+      & opt transport_conv `Unix
+      & info [ "transport" ] ~docv:"T"
+          ~doc:
+            "Transport: $(b,loopback) (deterministic in-process), $(b,unix) \
+             (one OS process per shard over Unix-domain socketpairs) or \
+             $(b,tcp) (processes over 127.0.0.1).")
+  in
+  let watchdog =
+    Arg.(
+      value & opt float 30.
+      & info [ "watchdog" ] ~docv:"SECONDS"
+          ~doc:
+            "How long a rank may sit blocked without receiving a frame \
+             before it reports a structured deadlock instead of hanging.")
+  in
+  let fail_rate =
+    Arg.(
+      value & opt float 0.
+      & info [ "net-fail-rate" ] ~docv:"P"
+          ~doc:
+            "Arm fault injection: probability that any single transport \
+             send fails transiently (retried with reconnect, up to 5 \
+             attempts).")
+  in
+  let fault_seed =
+    Arg.(
+      value & opt int 42
+      & info [ "fault-seed" ] ~docv:"N" ~doc:"Fault-injection schedule seed.")
+  in
+  let kill =
+    Arg.(
+      value
+      & opt (some (pair ~sep:':' int int)) None
+      & info [ "kill" ] ~docv:"RANK:N"
+          ~doc:
+            "Hard-kill the given child rank at its N-th physical send \
+             (crash testing; sockets only, rank 0 not killable).")
+  in
+  Cmd.v
+    (Cmd.info "launch"
+       ~doc:
+         "Run the compiled SPMD program distributed: one rank per shard \
+          exchanging region fragments, credits and tree collectives as \
+          wire messages, with the final state gathered at rank 0 and \
+          verified bitwise against the sequential interpreter.")
+    Term.(
+      const launch $ app_arg $ nodes_arg $ shards_arg $ transport $ watchdog
+      $ fail_rate $ fault_seed $ kill $ trace_arg $ metrics_arg)
 
 (* ---------- command wiring ---------- *)
 
@@ -474,4 +634,12 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "crc" ~version:"1.0.0" ~doc)
-          [ inspect_cmd; run_cmd; simulate_cmd; sweep_cmd; table1_cmd; fuzz_cmd ]))
+          [
+            inspect_cmd;
+            run_cmd;
+            launch_cmd;
+            simulate_cmd;
+            sweep_cmd;
+            table1_cmd;
+            fuzz_cmd;
+          ]))

@@ -18,22 +18,27 @@ let sched_of_config config =
 
 (* Shrink against the configuration that failed, with a short watchdog:
    deadlock-kind failures re-run on every candidate, and the sanitizer
-   catches dropped syncs long before a 60 s stall would. *)
+   catches dropped syncs long before a 60 s stall would. A [net/loopback]
+   failure shrinks on the loopback backend alone (no executor configs);
+   any other config shrinks with the net column off. *)
 let shrink_failure ~shards ~mutate (f : Oracle.failure) spec =
-  let scheds =
-    match sched_of_config f.Oracle.config with
-    | Some s -> [ s ]
-    | None -> Oracle.stepper_scheds
+  let scheds, net =
+    if f.Oracle.config = "net/loopback" then ([], true)
+    else
+      ( (match sched_of_config f.Oracle.config with
+        | Some s -> [ s ]
+        | None -> Oracle.stepper_scheds),
+        false )
   in
   let still_fails candidate =
-    match Oracle.check ~shards ?mutate ~scheds ~watchdog:2. candidate with
+    match Oracle.check ~shards ?mutate ~scheds ~watchdog:2. ~net candidate with
     | Some f' -> f'.Oracle.kind = f.Oracle.kind
     | None -> false
     | exception _ -> false
   in
   let shrunk = Shrink.run still_fails spec in
   let failure =
-    match Oracle.check ~shards ?mutate ~scheds ~watchdog:2. shrunk with
+    match Oracle.check ~shards ?mutate ~scheds ~watchdog:2. ~net shrunk with
     | Some f' -> f'
     | None | (exception _) -> f
   in
@@ -41,7 +46,7 @@ let shrink_failure ~shards ~mutate (f : Oracle.failure) spec =
 
 (* Run [count] cases from [seed]; stop at the first failure, shrink it and
    save the repro to [out]. [log] receives one line per event. *)
-let campaign ?(out = "fuzz-repro.json") ?max_tasks ?mutate ?shards
+let campaign ?(out = "fuzz-repro.json") ?max_tasks ?mutate ?shards ?net
     ?(log = fun _ -> ()) ~seed ~count () =
   let rec go i =
     if i >= count then { tested = count; repro = None }
@@ -51,7 +56,7 @@ let campaign ?(out = "fuzz-repro.json") ?max_tasks ?mutate ?shards
         match shards with Some s -> s | None -> shards_of_case i
       in
       let spec = Gen.spec ?max_tasks case_seed in
-      match Oracle.check ~shards:nshards ?mutate spec with
+      match Oracle.check ~shards:nshards ?mutate ?net spec with
       | None ->
           if (i + 1) mod 25 = 0 then
             log (Printf.sprintf "%d/%d cases passed" (i + 1) count);

@@ -20,6 +20,7 @@ val campaign :
   ?max_tasks:int ->
   ?mutate:int ->
   ?shards:int ->
+  ?net:bool ->
   ?log:(string -> unit) ->
   seed:int ->
   count:int ->
@@ -29,7 +30,8 @@ val campaign :
     shrink it against the failing configuration and save the repro to
     [out] (default ["fuzz-repro.json"]). [?mutate] arms the negative
     control: every compiled case has its [k]-th sync op dropped, so a
-    completed campaign means the oracle missed the bug. *)
+    completed campaign means the oracle missed the bug. [?net] (default
+    [true]) controls the [net/loopback] backend column. *)
 
 val replay : string -> Oracle.failure option
 (** Re-run a saved repro file; [None] means it no longer fails. *)

@@ -123,15 +123,37 @@ let run_config ~shards ~sched ~plane ~watchdog ?mutate spec =
     ctx;
   (snapshot ctx, mutated)
 
+(* The message-passing backend column: the same compiled program driven
+   through [Net.Launch.run_loopback] — every shard a simulated rank,
+   copies and credits as wire frames, collectives over the tree. Deadlock
+   detection is exact under loopback (no queued frame and no engine can
+   step), so no watchdog is needed. *)
+let run_net_config ~shards ?mutate spec =
+  let prog = Gen.build spec in
+  let compiled = Cr.Pipeline.compile (Cr.Pipeline.default ~shards) prog in
+  let ctx = Interp.Run.create compiled.Spmd.Prog.source in
+  let compiled, mutated =
+    match mutate with
+    | None -> (compiled, false)
+    | Some k -> (
+        match Mutate.drop_nth_sync compiled k with
+        | Some (p, _) -> (p, true)
+        | None -> (compiled, false))
+  in
+  Net.Launch.run_loopback ~sanitize:true compiled ctx;
+  (snapshot ctx, mutated)
+
 (* Differential check: [None] when every configuration matches the
    reference, the first failure otherwise. With [?mutate], the named sync
    op is dropped from each compiled program before execution — a passing
    result then means the harness failed its negative control.
 
    [scheds] defaults to all three schedulers; mutation tests that want
-   deterministic failure modes can restrict to the stepper ones. *)
+   deterministic failure modes can restrict to the stepper ones. [net]
+   appends the [net/loopback] column: the same program once more through
+   the distributed backend's deterministic loopback driver. *)
 let check ?(shards = 3) ?mutate ?(scheds = all_scheds) ?(watchdog = 10.)
-    (spec : Spec.t) =
+    ?(net = true) (spec : Spec.t) =
   let reference =
     try
       let prog = Gen.build spec in
@@ -144,9 +166,10 @@ let check ?(shards = 3) ?mutate ?(scheds = all_scheds) ?(watchdog = 10.)
   in
   match reference with
   | Error f -> Some f
-  | Ok expected ->
-      List.fold_left
-        (fun acc (sname, sched) ->
+  | Ok expected -> (
+      let exec_failure =
+        List.fold_left
+          (fun acc (sname, sched) ->
           match acc with
           | Some _ -> acc
           | None ->
@@ -185,4 +208,21 @@ let check ?(shards = 3) ?mutate ?(scheds = all_scheds) ?(watchdog = 10.)
                               detail = Printexc.to_string e;
                             }))
                 acc planes)
-        None scheds
+          None scheds
+      in
+      match exec_failure with
+      | Some _ -> exec_failure
+      | None when not net -> None
+      | None -> (
+          let config = "net/loopback" in
+          match run_net_config ~shards ?mutate spec with
+          | got, _ when compare got expected = 0 -> None
+          | got, _ ->
+              Some { config; kind = Mismatch; detail = first_diff expected got }
+          | exception Spmd.Sanitizer.Race msg ->
+              Some { config; kind = Race; detail = msg }
+          | exception Spmd.Exec.Deadlock d ->
+              Some
+                { config; kind = Deadlock; detail = d.Resilience.Diag.reason }
+          | exception e ->
+              Some { config; kind = Crash; detail = Printexc.to_string e }))

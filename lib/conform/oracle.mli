@@ -32,6 +32,7 @@ val check :
   ?mutate:int ->
   ?scheds:(string * Spmd.Exec.sched) list ->
   ?watchdog:float ->
+  ?net:bool ->
   Spec.t ->
   failure option
 (** [check spec] is [None] when every configuration reproduces the
@@ -39,4 +40,8 @@ val check :
     configuration rebuilds the program from the spec (compilation and
     execution mutate derived state). [?mutate] drops the [k]-th sync op
     from each compiled program first — the harness's negative control.
-    [?watchdog] (seconds) bounds [`Domains] stalls; defaults to [10.]. *)
+    [?watchdog] (seconds) bounds [`Domains] stalls; defaults to [10.].
+    [?net] (default [true]) appends the [net/loopback] column: the same
+    program once more through the distributed backend's deterministic
+    loopback driver ({!Net.Launch.run_loopback}, sanitizer armed), with
+    the identical failure classification. *)

@@ -1,0 +1,20 @@
+(** Workload scaling between the instantiated problem and the simulated
+    one.
+
+    Structured applications can instantiate full-size partitions
+    (rectangle algebra is O(1) in element count), so they use
+    {!unit_scale}. Unstructured applications instantiate a reduced
+    per-node problem — the partition topology (who neighbours whom) is
+    size-invariant — and tell the simulator how many real elements each
+    instantiated element stands for: [compute] scales task inputs,
+    [copy] scales communication volumes. The two differ because compute
+    scales with volume while halo traffic scales with surface. *)
+
+type t = { compute : float; copy : float }
+
+val unit_scale : t
+(** [{ compute = 1.; copy = 1. }] — the instantiated problem is the
+    simulated one. *)
+
+val make : compute:float -> copy:float -> t
+(** Raises [Invalid_argument] unless both factors are positive. *)

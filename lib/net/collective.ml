@@ -1,0 +1,105 @@
+open Regions
+
+type action =
+  | Send_up of int * (int * float) array
+  | Send_down of int * float
+
+type slot = {
+  mutable op : Privilege.redop option;  (* set once this rank deposits *)
+  mutable contributions : (int * float) list;  (* own + children's *)
+  mutable deposited : bool;
+  mutable ups : int;  (* child Up frames received *)
+  mutable up_sent : bool;
+  mutable result : float option;
+  mutable down_sent : bool;
+}
+
+type t = {
+  rank : int;
+  size : int;
+  mutable next_seq : int;
+  slots : (int, slot) Hashtbl.t;
+}
+
+let create ~rank ~size = { rank; size; next_seq = 0; slots = Hashtbl.create 8 }
+
+let parent ~rank = if rank = 0 then None else Some ((rank - 1) / 2)
+
+let children ~rank ~size =
+  List.filter (fun c -> c < size) [ (2 * rank) + 1; (2 * rank) + 2 ]
+
+let slot t seq =
+  match Hashtbl.find_opt t.slots seq with
+  | Some s -> s
+  | None ->
+      let s =
+        {
+          op = None;
+          contributions = [];
+          deposited = false;
+          ups = 0;
+          up_sent = false;
+          result = None;
+          down_sent = false;
+        }
+      in
+      Hashtbl.replace t.slots seq s;
+      s
+
+let begin_op t ~op ~values =
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  let s = slot t seq in
+  s.op <- Some op;
+  s.contributions <- values @ s.contributions;
+  s.deposited <- true;
+  seq
+
+let on_up t ~seq values =
+  let s = slot t seq in
+  s.contributions <- Array.to_list values @ s.contributions;
+  s.ups <- s.ups + 1
+
+let on_down t ~seq result = (slot t seq).result <- Some result
+
+let poll t ~seq =
+  let s = slot t seq in
+  let nchildren = List.length (children ~rank:t.rank ~size:t.size) in
+  let acts = ref [] in
+  if s.deposited && s.ups = nchildren && not s.up_sent then begin
+    s.up_sent <- true;
+    match parent ~rank:t.rank with
+    | Some p -> acts := [ Send_up (p, Array.of_list s.contributions) ]
+    | None ->
+        (* Root: the global fold, in ascending color order — bitwise
+           equal to the sequential interpreter and the shared-memory
+           executor, independent of message arrival order. *)
+        let op = Option.get s.op in
+        let sorted =
+          List.sort (fun (a, _) (b, _) -> Int.compare a b) s.contributions
+        in
+        s.result <-
+          Some
+            (List.fold_left
+               (fun acc (_, v) -> Privilege.apply_redop op acc v)
+               (Privilege.identity_of op)
+               sorted)
+  end;
+  (match s.result with
+  | Some r when not s.down_sent ->
+      s.down_sent <- true;
+      acts :=
+        !acts
+        @ List.map
+            (fun c -> Send_down (c, r))
+            (children ~rank:t.rank ~size:t.size)
+  | _ -> ());
+  (!acts, s.result)
+
+let arrived t ~seq =
+  let s = slot t seq in
+  (if s.deposited then 1 else 0) + s.ups
+
+let completed t ~seq = (slot t seq).result <> None
+
+let finish t ~seq = Hashtbl.remove t.slots seq

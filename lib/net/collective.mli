@@ -1,0 +1,55 @@
+(** Tree-based collectives: barrier and scalar allreduce (paper §4.4).
+
+    Ranks form a static binary tree (parent [(r-1)/2], children [2r+1]
+    and [2r+2]). One operation: every rank deposits its local
+    [(color, partial)] contributions; leaves send them up; each inner
+    node forwards once its subtree is complete; the root folds {e all}
+    contributions in ascending color order — exactly the sequential
+    interpreter's fold, so the result is bitwise deterministic however
+    the messages interleaved — and broadcasts the result back down. A
+    barrier is the degenerate allreduce with no contributions.
+
+    Operations are identified by a sequence number every rank allocates
+    in the same order — the replicated instruction stream is identical
+    on all ranks, so no negotiation is needed. Frames for a sequence the
+    local rank has not begun yet (a faster subtree) buffer in the slot
+    table until it catches up.
+
+    The module is a pure state machine: {!on_up}/{!on_down} record
+    incoming frames, {!poll} says which frames to send now and whether
+    the result is in. The engine owns all actual sends. *)
+
+type t
+
+type action =
+  | Send_up of int * (int * float) array  (** (parent, contributions) *)
+  | Send_down of int * float  (** (child, folded result) *)
+
+val create : rank:int -> size:int -> t
+
+val parent : rank:int -> int option
+val children : rank:int -> size:int -> int list
+
+val begin_op :
+  t -> op:Regions.Privilege.redop -> values:(int * float) list -> int
+(** Deposit this rank's contributions and allocate the operation's
+    sequence number. Call exactly once per collective instruction
+    instance, in program order. *)
+
+val on_up : t -> seq:int -> (int * float) array -> unit
+val on_down : t -> seq:int -> float -> unit
+
+val poll : t -> seq:int -> action list * float option
+(** Frames that have become sendable (each returned exactly once), and
+    the operation's result when complete on this rank. *)
+
+val arrived : t -> seq:int -> int
+(** Contribution frames gathered locally so far (diagnostics): own
+    deposit plus child subtree messages received. *)
+
+val completed : t -> seq:int -> bool
+(** Whether the result has reached this rank (diagnostics; side-effect
+    free, unlike {!poll}). *)
+
+val finish : t -> seq:int -> unit
+(** Drop a completed operation's slot (after the result is consumed). *)

@@ -1,0 +1,952 @@
+open Regions
+module Prog = Spmd.Prog
+module Exec = Spmd.Exec
+module Copy_plan = Spmd.Copy_plan
+module Intersections = Spmd.Intersections
+module Sanitizer = Spmd.Sanitizer
+module Program = Ir.Program
+module Types = Ir.Types
+module Task = Ir.Task
+module Eval = Ir.Eval
+module Diag = Resilience.Diag
+
+(* ---------- the per-process protocol state ---------- *)
+
+type net = {
+  tp : Transport.t;
+  chan : Channel.t;
+  coll : Collective.t;
+  trace : Obs.Trace.t;
+  stats : Exec.stats option;
+  san : Sanitizer.t option;
+  mutable snapshots : (int * string) list;
+  mutable stats_in : (int * (int * int * int * int)) list;
+  mutable byes : int list;
+  mutable dead : int list;
+}
+
+let make_net ?stats ?(trace = Obs.Trace.null) ?san tp =
+  {
+    tp;
+    chan = Channel.create ();
+    coll = Collective.create ~rank:(Transport.rank tp) ~size:(Transport.size tp);
+    trace;
+    stats;
+    san;
+    snapshots = [];
+    stats_in = [];
+    byes = [];
+    dead = [];
+  }
+
+let transport net = net.tp
+let snapshots net = net.snapshots
+let stats_frames net = net.stats_in
+let byes net = net.byes
+let dead_ranks net = net.dead
+
+let send_frame net ~dst frame =
+  let b = Wire.encode frame in
+  (match net.stats with
+  | None -> ()
+  | Some s ->
+      Atomic.incr s.Exec.msgs_sent;
+      ignore
+        (Atomic.fetch_and_add s.Exec.bytes_on_wire
+           (Bytes.length b + Transport.prefix_bytes)));
+  Obs.Trace.instant net.trace
+    ~tid:(Exec.shard_tid (Transport.rank net.tp))
+    ~cat:"net"
+    ~args:
+      [
+        ("dst", Obs.Trace.Int dst);
+        ("kind", Obs.Trace.Str (Wire.kind frame));
+        ("bytes", Obs.Trace.Int (Bytes.length b));
+      ]
+    "net.send";
+  Transport.send net.tp ~dst b
+
+let dispatch net frame =
+  match frame with
+  | Wire.Data { copy_id; epoch; src_color; dst_color; runs; payload; _ } ->
+      Channel.on_data net.chan ~cid:copy_id ~i:src_color ~j:dst_color ~epoch
+        ~runs ~payload
+  | Wire.Credit { copy_id; src_color; dst_color } ->
+      Channel.add_credit net.chan ~cid:copy_id ~i:src_color ~j:dst_color
+  | Wire.Coll { seq; dir = `Up; values } -> Collective.on_up net.coll ~seq values
+  | Wire.Coll { seq; dir = `Down; values } ->
+      let r = if Array.length values = 0 then 0. else snd values.(0) in
+      Collective.on_down net.coll ~seq r
+  | Wire.Final { copy_id; src_color; dst_color; runs; payload; _ } ->
+      Channel.on_final net.chan ~cid:copy_id ~i:src_color ~j:dst_color ~runs
+        ~payload
+  | Wire.Snapshot { rank; blob } -> net.snapshots <- (rank, blob) :: net.snapshots
+  | Wire.Stats { rank; msgs; bytes; retries; injected } ->
+      net.stats_in <- (rank, (msgs, bytes, retries, injected)) :: net.stats_in
+  | Wire.Bye { rank } -> net.byes <- rank :: net.byes
+
+let pump net ~timeout =
+  let got = ref false in
+  let rec go timeout =
+    match Transport.recv net.tp ~timeout with
+    | Transport.Timeout -> ()
+    | Transport.Closed r ->
+        (* Ordered delivery: a graceful peer's [Bye] was dispatched from
+           an earlier frame, so EOF-before-Bye means the peer died. *)
+        if (not (List.mem r net.byes)) && not (List.mem r net.dead) then
+          net.dead <- r :: net.dead;
+        go 0.
+    | Transport.Msg (src, b) ->
+        got := true;
+        let frame = Wire.decode b in
+        Obs.Trace.instant net.trace
+          ~tid:(Exec.shard_tid (Transport.rank net.tp))
+          ~cat:"net"
+          ~args:
+            [
+              ("src", Obs.Trace.Int src);
+              ("kind", Obs.Trace.Str (Wire.kind frame));
+              ("bytes", Obs.Trace.Int (Bytes.length b));
+            ]
+          "net.recv";
+        dispatch net frame;
+        go 0.
+  in
+  go timeout;
+  !got
+
+(* ---------- the block engine ---------- *)
+
+type loop_info = { lvar : string; lcount : int; mutable liter : int }
+
+type eframe = {
+  instrs : Prog.instr array;
+  mutable idx : int;
+  loop : loop_info option;
+}
+
+type fin = { mutable k : int; mutable sent : bool }
+type phase = Body | Finalizing of fin | Complete
+type wait = W_ready | W_coll of { seq : int; cvar : string option }
+
+type engine = {
+  net : net;
+  source : Program.t;
+  ctx : Interp.Run.context;
+  block : Prog.block;
+  rank : int;
+  env : Eval.env;
+  insts : (string * int, Physical.t) Hashtbl.t;
+  pairs : (int, Intersections.pairs) Hashtbl.t;
+  plans : (int * int * int, Copy_plan.t) Hashtbl.t;
+  mutable frames : eframe list;
+  mutable wait : wait;
+  mutable phase : phase;
+}
+
+let finished eng = eng.phase = Complete
+
+let bump eng f =
+  match eng.net.stats with None -> () | Some s -> Atomic.incr (f s)
+
+let instance eng pname color =
+  match Hashtbl.find_opt eng.insts (pname, color) with
+  | Some i -> i
+  | None ->
+      invalid_arg (Printf.sprintf "Net.Engine: no instance (%s, %d)" pname color)
+
+let root_inst eng rname =
+  Interp.Run.region_instance eng.ctx (Program.find_region eng.source rname)
+
+let owner eng pname color =
+  let p = Program.find_partition eng.source pname in
+  Prog.owner_of_color ~shards:eng.block.Prog.shards
+    ~colors:(Partition.color_count p) color
+
+let owned_space_colors eng space =
+  let n = Program.find_space eng.source space in
+  Prog.colors_of_shard ~shards:eng.block.Prog.shards ~colors:n eng.rank
+
+let owned_src_pairs eng (c : Prog.copy) =
+  let pairs = Hashtbl.find eng.pairs c.Prog.copy_id in
+  let ps =
+    match c.Prog.src with Prog.Opart p -> p | Prog.Oregion _ -> assert false
+  in
+  List.filter (fun (i, _, _) -> owner eng ps i = eng.rank) pairs.Intersections.items
+
+let owned_dst_pairs eng copy_id =
+  let c =
+    List.find
+      (fun (c : Prog.copy) -> c.Prog.copy_id = copy_id)
+      eng.block.Prog.copies
+  in
+  let pairs = Hashtbl.find eng.pairs copy_id in
+  let pd =
+    match c.Prog.dst with Prog.Opart p -> p | Prog.Oregion _ -> assert false
+  in
+  ( c,
+    List.filter (fun (_, j, _) -> owner eng pd j = eng.rank) pairs.Intersections.items
+  )
+
+(* ---------- sanitizer hooks (loopback only; mirror Spmd.Exec) ---------- *)
+
+let san_access eng ~part ~color ~fields kind space =
+  match eng.net.san with
+  | None -> ()
+  | Some san ->
+      List.iter
+        (fun field ->
+          Sanitizer.access san ~shard:eng.rank ~part ~color ~field kind space)
+        fields
+
+let san_acquire eng key =
+  match eng.net.san with
+  | None -> ()
+  | Some san -> Sanitizer.acquire san ~shard:eng.rank key
+
+let san_release eng key =
+  match eng.net.san with
+  | None -> ()
+  | Some san -> Sanitizer.release san ~shard:eng.rank key
+
+let san_launch eng (l : Types.launch) c =
+  match eng.net.san with
+  | None -> ()
+  | Some san ->
+      let task = Program.find_task eng.source l.Types.task in
+      List.iteri
+        (fun k rarg ->
+          match rarg with
+          | Types.Part (pname, Types.Id) ->
+              let inst = instance eng pname c in
+              let space = Physical.ispace inst in
+              List.iter
+                (fun (pr : Privilege.t) ->
+                  let kind =
+                    match pr.Privilege.mode with
+                    | Privilege.Read -> Sanitizer.A_read
+                    | Privilege.Read_write -> Sanitizer.A_write
+                    | Privilege.Reduce op -> Sanitizer.A_reduce op
+                  in
+                  Sanitizer.access san ~shard:eng.rank ~part:pname ~color:c
+                    ~field:pr.Privilege.field kind space)
+                (Task.param_privs task k)
+          | Types.Part _ | Types.Whole _ -> ())
+        l.Types.rargs
+
+(* ---------- copy plans ---------- *)
+
+let plan_for eng ~cid ~i ~j ?space ~fields ~src ~dst () =
+  let key = (cid, i, j) in
+  match Hashtbl.find_opt eng.plans key with
+  | Some p -> p
+  | None ->
+      let p = Copy_plan.build ?space ~src ~dst ~fields () in
+      bump eng (fun s -> s.Exec.plan_builds);
+      Hashtbl.replace eng.plans key p;
+      p
+
+let count_replay eng plan fields =
+  bump eng (fun s -> s.Exec.plan_replays);
+  match eng.net.stats with
+  | None -> ()
+  | Some s ->
+      ignore
+        (Atomic.fetch_and_add s.Exec.blit_volume
+           (Copy_plan.volume plan * List.length fields))
+
+let plan_exec eng ~cid ~i ~j ?space ~fields ~reduce ~src ~dst () =
+  let plan = plan_for eng ~cid ~i ~j ?space ~fields ~src ~dst () in
+  count_replay eng plan fields;
+  Copy_plan.execute plan ~reduce ~src ~dst
+
+(* Local replay of an init/finalize copy whose source every rank holds
+   (root regions are replicated in each rank's private context, and the
+   replay order is the master-copy order, so the result is identical on
+   all ranks). *)
+let local_copy eng (c : Prog.copy) =
+  let cid = c.Prog.copy_id and fields = c.Prog.fields in
+  let reduce = c.Prog.reduce in
+  match (c.Prog.src, c.Prog.dst) with
+  | Prog.Oregion rs, Prog.Opart pd ->
+      let p = Program.find_partition eng.source pd in
+      let src = root_inst eng rs in
+      for color = 0 to Partition.color_count p - 1 do
+        plan_exec eng ~cid ~i:(-1) ~j:color ~fields ~reduce ~src
+          ~dst:(instance eng pd color) ()
+      done
+  | Prog.Opart ps, Prog.Oregion rd ->
+      let p = Program.find_partition eng.source ps in
+      let dst = root_inst eng rd in
+      for color = 0 to Partition.color_count p - 1 do
+        plan_exec eng ~cid ~i:color ~j:(-1) ~fields ~reduce
+          ~src:(instance eng ps color) ~dst ()
+      done
+  | Prog.Opart ps, Prog.Opart pd ->
+      let pairs = Hashtbl.find eng.pairs cid in
+      List.iter
+        (fun (i, j, space) ->
+          plan_exec eng ~cid ~i ~j ~space ~fields ~reduce
+            ~src:(instance eng ps i) ~dst:(instance eng pd j) ())
+        pairs.Intersections.items
+  | Prog.Oregion rs, Prog.Oregion rd ->
+      plan_exec eng ~cid ~i:(-1) ~j:(-1) ~fields ~reduce
+        ~src:(root_inst eng rs) ~dst:(root_inst eng rd) ()
+
+(* ---------- leaf launches ---------- *)
+
+let run_launch_color eng (l : Types.launch) c =
+  let task = Program.find_task eng.source l.Types.task in
+  san_launch eng l c;
+  let sargs = Array.map (Eval.sexpr eng.env) l.Types.sargs in
+  let accessors =
+    Array.of_list
+      (List.mapi
+         (fun k rarg ->
+           match rarg with
+           | Types.Part (pname, Types.Id) ->
+               let inst = instance eng pname c in
+               Accessor.make inst ~space:(Physical.ispace inst)
+                 (Task.param_privs task k)
+           | Types.Part (pname, Types.Fn (fname, _)) ->
+               invalid_arg
+                 (Printf.sprintf
+                    "Net.Engine: non-normalized projection %s(%s) survived \
+                     control replication"
+                    fname pname)
+           | Types.Whole r ->
+               invalid_arg
+                 (Printf.sprintf
+                    "Net.Engine: whole-region argument %s in replicated code" r))
+         l.Types.rargs)
+  in
+  task.Task.kernel accessors sargs
+
+(* ---------- the data plane, by message ---------- *)
+
+(* Producer-issued copy (§3.4): one [Data] frame per owned pair, gathered
+   through the memoized plan. The destination-relative runs travel with
+   the payload; both sides build instances from the same deterministic
+   index spaces, so the offsets are valid in the receiver. *)
+let try_copy eng (c : Prog.copy) =
+  let cid = c.Prog.copy_id in
+  let owned = owned_src_pairs eng c in
+  let all_credits =
+    List.for_all
+      (fun (i, j, _) -> !(Channel.war eng.net.chan (cid, i, j)) > 0)
+      owned
+  in
+  if not all_credits then `Blocked
+  else begin
+    let ps =
+      match c.Prog.src with Prog.Opart p -> p | Prog.Oregion _ -> assert false
+    in
+    let pd =
+      match c.Prog.dst with Prog.Opart p -> p | Prog.Oregion _ -> assert false
+    in
+    let fnames = List.map Field.name c.Prog.fields in
+    List.iter
+      (fun (i, j, space) ->
+        decr (Channel.war eng.net.chan (cid, i, j));
+        san_acquire eng (Sanitizer.K_war (cid, i, j));
+        san_access eng ~part:ps ~color:i ~fields:c.Prog.fields Sanitizer.A_read
+          space;
+        let src = instance eng ps i and dst = instance eng pd j in
+        let plan =
+          plan_for eng ~cid ~i ~j ~space ~fields:c.Prog.fields ~src ~dst ()
+        in
+        count_replay eng plan c.Prog.fields;
+        let payload = Copy_plan.gather plan ~src in
+        let runs = Copy_plan.dst_runs plan in
+        (* A plain copy's write is attributed to the producer (as in
+           Spmd.Exec); a reduction's application is attributed to the
+           consumer at [Await]. *)
+        (match c.Prog.reduce with
+        | None ->
+            san_access eng ~part:pd ~color:j ~fields:c.Prog.fields
+              Sanitizer.A_write space
+        | Some _ -> ());
+        let epoch = Channel.next_send_epoch eng.net.chan ~cid ~i ~j in
+        send_frame eng.net ~dst:(owner eng pd j)
+          (Wire.Data
+             {
+               copy_id = cid;
+               epoch;
+               src_color = i;
+               dst_color = j;
+               fields = fnames;
+               runs;
+               payload;
+             });
+        san_release eng (Sanitizer.K_raw (cid, i, j)))
+      owned;
+    `Progress
+  end
+
+(* The queued [Data] frame is the raw token: [Await] needs one per owned
+   pair, then scatters (plain) or folds (reduce, ascending source color)
+   the payloads into the local instance. *)
+let try_await eng copy_id =
+  let c, owned = owned_dst_pairs eng copy_id in
+  let ready =
+    List.for_all
+      (fun (i, j, _) -> Channel.queued eng.net.chan ~cid:copy_id ~i ~j > 0)
+      owned
+  in
+  if not ready then `Blocked
+  else begin
+    let pd =
+      match c.Prog.dst with Prog.Opart p -> p | Prog.Oregion _ -> assert false
+    in
+    let popped =
+      List.map
+        (fun (i, j, space) ->
+          let m = Channel.pop_data eng.net.chan ~cid:copy_id ~i ~j in
+          san_acquire eng (Sanitizer.K_raw (copy_id, i, j));
+          (i, j, space, m))
+        owned
+    in
+    let ordered =
+      List.sort
+        (fun (i1, j1, _, _) (i2, j2, _, _) ->
+          match Int.compare j1 j2 with 0 -> Int.compare i1 i2 | n -> n)
+        popped
+    in
+    List.iter
+      (fun (_, j, space, (m : Channel.msg)) ->
+        (match c.Prog.reduce with
+        | None -> ()
+        | Some _ ->
+            san_access eng ~part:pd ~color:j ~fields:c.Prog.fields
+              Sanitizer.A_write space);
+        Channel.apply ~reduce:c.Prog.reduce ~fields:c.Prog.fields
+          ~runs:m.Channel.runs ~payload:m.Channel.payload (instance eng pd j))
+      ordered;
+    `Progress
+  end
+
+let do_release eng copy_id =
+  let c, owned = owned_dst_pairs eng copy_id in
+  let ps =
+    match c.Prog.src with Prog.Opart p -> p | Prog.Oregion _ -> assert false
+  in
+  List.iter
+    (fun (i, j, _) ->
+      san_release eng (Sanitizer.K_war (copy_id, i, j));
+      send_frame eng.net ~dst:(owner eng ps i)
+        (Wire.Credit { copy_id; src_color = i; dst_color = j }))
+    owned
+
+(* ---------- collectives ---------- *)
+
+let drain_coll eng seq =
+  let acts, result = Collective.poll eng.net.coll ~seq in
+  List.iter
+    (function
+      | Collective.Send_up (p, values) ->
+          send_frame eng.net ~dst:p (Wire.Coll { seq; dir = `Up; values })
+      | Collective.Send_down (child, r) ->
+          send_frame eng.net ~dst:child
+            (Wire.Coll { seq; dir = `Down; values = [| (0, r) |] }))
+    acts;
+  result
+
+(* ---------- block start ---------- *)
+
+let start_block net ~source ctx (b : Prog.block) =
+  if b.Prog.shards <> Transport.size net.tp then
+    invalid_arg
+      (Printf.sprintf
+         "Net.Engine: block compiled for %d shards on a %d-rank transport"
+         b.Prog.shards (Transport.size net.tp));
+  let eng =
+    {
+      net;
+      source;
+      ctx;
+      block = b;
+      rank = Transport.rank net.tp;
+      env = Eval.copy (Interp.Run.env ctx);
+      insts = Hashtbl.create 64;
+      pairs = Hashtbl.create 16;
+      plans = Hashtbl.create 32;
+      frames = [ { instrs = Array.of_list b.Prog.body; idx = 0; loop = None } ];
+      wait = W_ready;
+      phase = Body;
+    }
+  in
+  let isect = Option.map (fun (s : Exec.stats) -> s.Exec.isect) net.stats in
+  List.iter
+    (fun (pname, (p : Partition.t)) ->
+      let fields = Exec.fields_used_of_partition source b pname in
+      for c = 0 to Partition.color_count p - 1 do
+        let sub = Partition.sub p c in
+        Hashtbl.replace eng.insts (pname, c)
+          (Physical.create_over sub.Region.ispace fields)
+      done)
+    (Exec.partitions_used source b);
+  let part_of = function
+    | Prog.Opart p -> Some (Program.find_partition source p)
+    | Prog.Oregion _ -> None
+  in
+  List.iter
+    (fun (c : Prog.copy) ->
+      match (part_of c.Prog.src, part_of c.Prog.dst) with
+      | Some src, Some dst ->
+          let pairs =
+            match c.Prog.pairs with
+            | `Sparse -> Intersections.compute_cached ?stats:isect ~src ~dst ()
+            | `Dense -> Intersections.compute_all_pairs ?stats:isect ~src ~dst ()
+          in
+          Hashtbl.replace eng.pairs c.Prog.copy_id pairs;
+          let credits =
+            Option.value ~default:1 (List.assoc_opt c.Prog.copy_id b.Prog.credits)
+          in
+          let ps =
+            match c.Prog.src with
+            | Prog.Opart p -> p
+            | Prog.Oregion _ -> assert false
+          in
+          (* The credit counter lives at the producer: seed it there. A
+             block's copy ids are program-unique, so the persistent
+             channel table cannot collide across blocks. *)
+          List.iter
+            (fun (i, j, _) ->
+              if owner eng ps i = eng.rank then
+                Channel.war net.chan (c.Prog.copy_id, i, j) := credits)
+            pairs.Intersections.items
+      | _ -> ())
+    b.Prog.copies;
+  (* Initialization replays locally on every rank (Fig. 4d: sequential,
+     deterministic, touching state every rank holds). *)
+  Obs.Trace.with_span net.trace ~tid:(Exec.shard_tid eng.rank) ~cat:"exec"
+    "net.init" (fun () ->
+      List.iter
+        (function
+          | Prog.Copy c -> local_copy eng c
+          | Prog.Fill { part; fields; op } ->
+              let p = Program.find_partition source part in
+              for color = 0 to Partition.color_count p - 1 do
+                let inst = instance eng part color in
+                List.iter
+                  (fun fld -> Physical.fill inst fld (Privilege.identity_of op))
+                  fields
+              done
+          | instr ->
+              invalid_arg
+                (Format.asprintf "Net.Engine: unsupported init instruction %a"
+                   Prog.pp_instr instr))
+        b.Prog.init);
+  eng
+
+(* ---------- the stepper ---------- *)
+
+let push_loop eng var count body =
+  if count > 0 then begin
+    Eval.set eng.env var 0.;
+    eng.frames <-
+      {
+        instrs = Array.of_list body;
+        idx = 0;
+        loop = Some { lvar = var; lcount = count; liter = 0 };
+      }
+      :: eng.frames
+  end
+
+let rec normalize_frames eng =
+  match eng.frames with
+  | [] -> ()
+  | f :: rest ->
+      if f.idx >= Array.length f.instrs then (
+        match f.loop with
+        | Some li when li.liter + 1 < li.lcount ->
+            li.liter <- li.liter + 1;
+            Eval.set eng.env li.lvar (float_of_int li.liter);
+            f.idx <- 0
+        | Some _ | None ->
+            eng.frames <- rest;
+            normalize_frames eng)
+      else ()
+
+let step_body eng (f : eframe) =
+  let instr = f.instrs.(f.idx) in
+  let tr = eng.net.trace in
+  let tid = Exec.shard_tid eng.rank in
+  let t0 = if Obs.Trace.enabled tr then Obs.Trace.now_us tr else 0. in
+  let advance () =
+    f.idx <- f.idx + 1;
+    normalize_frames eng;
+    if Obs.Trace.enabled tr then
+      Obs.Trace.complete tr ~tid ~cat:"exec" ~ts:t0
+        ~dur:(Obs.Trace.now_us tr -. t0)
+        (Exec.instr_label instr);
+    `Progress
+  in
+  match instr with
+  | Prog.Assign (v, e) ->
+      Eval.set eng.env v (Eval.sexpr eng.env e);
+      advance ()
+  | Prog.For_time { var; count; body } ->
+      f.idx <- f.idx + 1;
+      Obs.Trace.instant tr ~tid ~cat:"exec"
+        ~args:[ ("count", Obs.Trace.Int count) ]
+        "for_time";
+      push_loop eng var count body;
+      normalize_frames eng;
+      `Progress
+  | Prog.Launch { space; launch } ->
+      List.iter
+        (fun c -> ignore (run_launch_color eng launch c))
+        (owned_space_colors eng space);
+      advance ()
+  | Prog.Fill { part; fields; op } ->
+      let p = Program.find_partition eng.source part in
+      List.iter
+        (fun c ->
+          let inst = instance eng part c in
+          san_access eng ~part ~color:c ~fields Sanitizer.A_write
+            (Physical.ispace inst);
+          List.iter
+            (fun fld -> Physical.fill inst fld (Privilege.identity_of op))
+            fields)
+        (Prog.colors_of_shard ~shards:eng.block.Prog.shards
+           ~colors:(Partition.color_count p) eng.rank);
+      advance ()
+  | Prog.Copy c -> (
+      match try_copy eng c with `Blocked -> `Blocked | `Progress -> advance ())
+  | Prog.Await id -> (
+      match try_await eng id with `Blocked -> `Blocked | `Progress -> advance ())
+  | Prog.Release id ->
+      do_release eng id;
+      Obs.Trace.instant tr ~tid ~cat:"exec"
+        ~args:[ ("copy_id", Obs.Trace.Int id) ]
+        "credit.release";
+      advance ()
+  | Prog.Barrier -> (
+      match eng.wait with
+      | W_coll { seq; cvar = None } -> (
+          match drain_coll eng seq with
+          | Some _ ->
+              san_acquire eng Sanitizer.K_barrier;
+              Collective.finish eng.net.coll ~seq;
+              eng.wait <- W_ready;
+              advance ()
+          | None -> `Blocked)
+      | W_ready | W_coll _ ->
+          (* A barrier is the empty allreduce over the rank tree. *)
+          let seq =
+            Collective.begin_op eng.net.coll ~op:Privilege.Sum ~values:[]
+          in
+          san_release eng Sanitizer.K_barrier;
+          Obs.Trace.instant tr ~tid ~cat:"exec"
+            ~args:[ ("generation", Obs.Trace.Int seq) ]
+            "barrier.arrive";
+          eng.wait <- W_coll { seq; cvar = None };
+          ignore (drain_coll eng seq);
+          `Progress)
+  | Prog.Launch_collective { space; launch; var; op } -> (
+      match eng.wait with
+      | W_coll { seq; cvar = Some _ } -> (
+          match drain_coll eng seq with
+          | Some r ->
+              san_acquire eng Sanitizer.K_collective;
+              Eval.set eng.env var r;
+              Collective.finish eng.net.coll ~seq;
+              eng.wait <- W_ready;
+              advance ()
+          | None -> `Blocked)
+      | W_ready | W_coll _ ->
+          let mine =
+            List.map
+              (fun c -> (c, run_launch_color eng launch c))
+              (owned_space_colors eng space)
+          in
+          let seq = Collective.begin_op eng.net.coll ~op ~values:mine in
+          san_release eng Sanitizer.K_collective;
+          Obs.Trace.instant tr ~tid ~cat:"exec"
+            ~args:[ ("var", Obs.Trace.Str var) ]
+            "collective.deposit";
+          eng.wait <- W_coll { seq; cvar = Some var };
+          ignore (drain_coll eng seq);
+          `Progress)
+  | Prog.Checkpoint _ ->
+      (* No checkpoint sink in the distributed backend (yet): the
+         instruction is the documented no-op it is without a sink. *)
+      advance ()
+
+(* ---------- finalize: fragment broadcast ---------- *)
+
+let broadcast_final eng ~cid ~i ~j ~fields ~runs ~payload =
+  Channel.on_final eng.net.chan ~cid ~i ~j ~runs ~payload;
+  for r = 0 to Transport.size eng.net.tp - 1 do
+    if r <> eng.rank then
+      send_frame eng.net ~dst:r
+        (Wire.Final
+           { copy_id = cid; src_color = i; dst_color = j; fields; runs; payload })
+  done
+
+let fin_copy eng k =
+  match List.nth eng.block.Prog.finalize k with
+  | Prog.Copy c -> c
+  | instr ->
+      invalid_arg
+        (Format.asprintf "Net.Engine: unsupported finalize instruction %a"
+           Prog.pp_instr instr)
+
+let expected_fragments eng (c : Prog.copy) =
+  match (c.Prog.src, c.Prog.dst) with
+  | Prog.Opart ps, Prog.Oregion _ ->
+      Partition.color_count (Program.find_partition eng.source ps)
+  | Prog.Opart _, Prog.Opart _ ->
+      List.length (Hashtbl.find eng.pairs c.Prog.copy_id).Intersections.items
+  | (Prog.Oregion _, _) -> 0
+
+let step_finalize eng (f : fin) =
+  let nfin = List.length eng.block.Prog.finalize in
+  if f.k >= nfin then begin
+    (* Replicated scalar state is identical on every rank; fold this
+       rank's copy back into its context. *)
+    let master_env = Interp.Run.env eng.ctx in
+    List.iter (fun (k, v) -> Eval.set master_env k v) (Eval.bindings eng.env);
+    eng.phase <- Complete;
+    `Progress
+  end
+  else
+    let c = fin_copy eng f.k in
+    match c.Prog.src with
+    | Prog.Oregion _ ->
+        (* Root-region source: every rank holds it whole — pure replay. *)
+        local_copy eng c;
+        f.k <- f.k + 1;
+        f.sent <- false;
+        `Progress
+    | Prog.Opart ps ->
+        let cid = c.Prog.copy_id in
+        if not f.sent then begin
+          f.sent <- true;
+          let fnames = List.map Field.name c.Prog.fields in
+          (match c.Prog.dst with
+          | Prog.Oregion rd ->
+              let p = Program.find_partition eng.source ps in
+              let root = root_inst eng rd in
+              List.iter
+                (fun i ->
+                  let src = instance eng ps i in
+                  let plan =
+                    plan_for eng ~cid ~i ~j:(-1) ~fields:c.Prog.fields ~src
+                      ~dst:root ()
+                  in
+                  count_replay eng plan c.Prog.fields;
+                  broadcast_final eng ~cid ~i ~j:(-1) ~fields:fnames
+                    ~runs:(Copy_plan.dst_runs plan)
+                    ~payload:(Copy_plan.gather plan ~src))
+                (Prog.colors_of_shard ~shards:eng.block.Prog.shards
+                   ~colors:(Partition.color_count p) eng.rank)
+          | Prog.Opart pd ->
+              let pairs = Hashtbl.find eng.pairs cid in
+              List.iter
+                (fun (i, j, space) ->
+                  if owner eng ps i = eng.rank then begin
+                    let src = instance eng ps i and dst = instance eng pd j in
+                    let plan =
+                      plan_for eng ~cid ~i ~j ~space ~fields:c.Prog.fields ~src
+                        ~dst ()
+                    in
+                    count_replay eng plan c.Prog.fields;
+                    broadcast_final eng ~cid ~i ~j ~fields:fnames
+                      ~runs:(Copy_plan.dst_runs plan)
+                      ~payload:(Copy_plan.gather plan ~src)
+                  end)
+                pairs.Intersections.items);
+          `Progress
+        end
+        else if Channel.final_count eng.net.chan ~cid < expected_fragments eng c
+        then `Blocked
+        else begin
+          let frags = Channel.take_final eng.net.chan ~cid in
+          (* Apply in master-copy order: ascending source color for a root
+             destination, intersection-pair order otherwise — every rank
+             replays the same sequence, so reductions fold identically. *)
+          let order =
+            match c.Prog.dst with
+            | Prog.Oregion _ -> fun (fr : Channel.fragment) -> fr.Channel.src_color
+            | Prog.Opart _ ->
+                let tbl = Hashtbl.create 16 in
+                List.iteri
+                  (fun k (i, j, _) -> Hashtbl.replace tbl (i, j) k)
+                  (Hashtbl.find eng.pairs cid).Intersections.items;
+                fun (fr : Channel.fragment) -> (
+                  match
+                    Hashtbl.find_opt tbl (fr.Channel.src_color, fr.Channel.dst_color)
+                  with
+                  | Some k -> k
+                  | None ->
+                      raise
+                        (Wire.Malformed
+                           (Printf.sprintf
+                              "finalize copy#%d: fragment (%d, %d) matches no \
+                               intersection pair"
+                              cid fr.Channel.src_color fr.Channel.dst_color)))
+          in
+          let sorted =
+            List.sort (fun a b -> Int.compare (order a) (order b)) frags
+          in
+          List.iter
+            (fun (fr : Channel.fragment) ->
+              let dst =
+                match c.Prog.dst with
+                | Prog.Oregion rd -> root_inst eng rd
+                | Prog.Opart pd -> instance eng pd fr.Channel.dst_color
+              in
+              Channel.apply ~reduce:c.Prog.reduce ~fields:c.Prog.fields
+                ~runs:fr.Channel.fruns ~payload:fr.Channel.fpayload dst)
+            sorted;
+          f.k <- f.k + 1;
+          f.sent <- false;
+          `Progress
+        end
+
+let step eng =
+  match eng.phase with
+  | Complete -> `Done
+  | Finalizing f -> step_finalize eng f
+  | Body -> (
+      normalize_frames eng;
+      match eng.frames with
+      | [] ->
+          eng.phase <- Finalizing { k = 0; sent = false };
+          `Progress
+      | f :: _ -> step_body eng f)
+
+(* ---------- diagnostics ---------- *)
+
+let chan_diag eng (cid, i, j) =
+  {
+    Diag.copy_id = cid;
+    src = i;
+    dst = j;
+    war = !(Channel.war eng.net.chan (cid, i, j));
+    raw = Channel.queued eng.net.chan ~cid ~i ~j;
+  }
+
+let diag_shard eng =
+  match eng.phase with
+  | Complete -> { Diag.sid = eng.rank; instr = None; wait = Diag.Finished }
+  | Finalizing f ->
+      let label =
+        if f.k >= List.length eng.block.Prog.finalize then "finalize: folding"
+        else
+          let c = fin_copy eng f.k in
+          Printf.sprintf "finalize copy#%d (%d/%d fragments)" c.Prog.copy_id
+            (Channel.final_count eng.net.chan ~cid:c.Prog.copy_id)
+            (expected_fragments eng c)
+      in
+      { Diag.sid = eng.rank; instr = Some label; wait = Diag.Running }
+  | Body -> (
+      normalize_frames eng;
+      match eng.frames with
+      | [] -> { Diag.sid = eng.rank; instr = None; wait = Diag.Finished }
+      | f :: _ ->
+          let instr = f.instrs.(f.idx) in
+          let wait =
+            match instr with
+            | Prog.Copy c ->
+                Diag.At_copy
+                  (List.map
+                     (fun (i, j, _) -> chan_diag eng (c.Prog.copy_id, i, j))
+                     (owned_src_pairs eng c))
+            | Prog.Await id ->
+                let _, owned = owned_dst_pairs eng id in
+                Diag.At_await
+                  (List.map (fun (i, j, _) -> chan_diag eng (id, i, j)) owned)
+            | Prog.Barrier -> (
+                match eng.wait with
+                | W_coll { seq; _ } ->
+                    Diag.At_barrier
+                      {
+                        arrived = Collective.arrived eng.net.coll ~seq;
+                        generation = seq;
+                      }
+                | W_ready -> Diag.Running)
+            | Prog.Launch_collective { var; _ } -> (
+                match eng.wait with
+                | W_coll { seq; _ } ->
+                    Diag.At_collective
+                      {
+                        var;
+                        arrived = Collective.arrived eng.net.coll ~seq;
+                        consumed = 0;
+                        published = Collective.completed eng.net.coll ~seq;
+                      }
+                | W_ready -> Diag.Running)
+            | _ -> Diag.Running
+          in
+          {
+            Diag.sid = eng.rank;
+            instr = Some (Format.asprintf "%a" Prog.pp_instr instr);
+            wait;
+          })
+
+let diagnose net ~reason engines =
+  let reason =
+    match net.dead with
+    | [] -> reason
+    | dead ->
+        Printf.sprintf "%s; peers closed before goodbye: %s" reason
+          (String.concat ", "
+             (List.map string_of_int (List.sort Int.compare dead)))
+  in
+  {
+    Diag.reason;
+    shards = List.map diag_shard engines;
+    barrier_arrived = 0;
+    barrier_generation = 0;
+  }
+
+(* ---------- the blocking per-rank driver (socket mode) ---------- *)
+
+let run_rank ?(watchdog = 30.) net (prog : Prog.t) ctx =
+  let rank = Transport.rank net.tp in
+  if Obs.Trace.enabled net.trace then
+    Obs.Trace.set_thread_name net.trace ~tid:(Exec.shard_tid rank)
+      (Printf.sprintf "rank %d" rank);
+  List.iter
+    (function
+      | Prog.Seq stmts -> Interp.Run.run_stmts ctx stmts
+      | Prog.Replicated b ->
+          let eng = start_block net ~source:prog.Prog.source ctx b in
+          let last = ref (Unix.gettimeofday ()) in
+          let rec drive () =
+            if pump net ~timeout:0. then last := Unix.gettimeofday ();
+            match step eng with
+            | `Done -> ()
+            | `Progress ->
+                last := Unix.gettimeofday ();
+                drive ()
+            | `Blocked ->
+                if pump net ~timeout:0.005 then last := Unix.gettimeofday ()
+                else if
+                  watchdog > 0. && Unix.gettimeofday () -. !last > watchdog
+                then
+                  raise
+                    (Exec.Deadlock
+                       (diagnose net
+                          ~reason:
+                            (Printf.sprintf
+                               "rank %d: no frame and no progress for %.2fs"
+                               rank watchdog)
+                          [ eng ]));
+                drive ()
+          in
+          (try drive ()
+           with Transport.Peer_down r ->
+             raise
+               (Exec.Deadlock
+                  (diagnose net
+                     ~reason:
+                       (Printf.sprintf
+                          "rank %d unreachable from rank %d (send retries \
+                           exhausted)"
+                          r rank)
+                     [ eng ]))))
+    prog.Prog.items

@@ -1,0 +1,110 @@
+(** The per-rank execution engine of the distributed backend.
+
+    One {!net} per process (or per simulated rank under loopback) wires
+    a {!Transport.t} to the protocol state: {!Channel} tables for the
+    copy credit/data plane, a {!Collective} tree for barriers and scalar
+    reductions, and the end-of-run gather boxes ([Snapshot]/[Stats]/
+    [Bye] frames destined for rank 0). {!pump} drains the transport and
+    dispatches every frame to its table; it never blocks the engine's
+    own instruction stream.
+
+    One {!engine} runs one replicated block on one rank, mirroring
+    {!Spmd.Exec}'s cooperative stepper exactly — same instruction
+    semantics, same sanitizer hooks, same deterministic orders (staged
+    reductions applied in ascending source color, collectives folded in
+    ascending color at the tree root) — except that channel counters
+    move by message instead of by shared memory:
+
+    - [Copy] gathers each owned pair's payload through the memoized
+      {!Spmd.Copy_plan} and sends a [Data] frame to the destination
+      color's owner (consuming one war credit; §3.4 producer-issued
+      copies).
+    - [Await] needs one queued [Data] frame per owned destination pair
+      — the frame {e is} the raw token — and scatters/folds the
+      payloads into the local instance.
+    - [Release] sends a [Credit] frame back to each source owner.
+    - [Barrier] / [Launch_collective] run one tree operation
+      ({!Collective}); a barrier is the empty allreduce.
+    - The finalize phase broadcasts every owned fragment as [Final]
+      frames to {e all} ranks and applies the full set in master-copy
+      order, so each rank finishes holding the complete, bitwise
+      identical root state.
+
+    Every rank executes the whole program against its private
+    {!Interp.Run.context} ([Seq] items and block initialization are
+    replayed identically everywhere — they are deterministic), and the
+    engine's instructions touch only the colors its rank owns, so the
+    union of ranks is exactly one {!Spmd.Exec} run. *)
+
+type net
+
+val make_net :
+  ?stats:Spmd.Exec.stats ->
+  ?trace:Obs.Trace.t ->
+  ?san:Spmd.Sanitizer.t ->
+  Transport.t ->
+  net
+(** [san] is only meaningful under loopback, where all ranks share one
+    process (and one sanitizer); socket-mode ranks pass nothing. *)
+
+val transport : net -> Transport.t
+
+val pump : net -> timeout:float -> bool
+(** Drain ready frames (waiting up to [timeout] for the first one) and
+    dispatch them; [true] when at least one frame arrived. Peer EOFs are
+    recorded (see {!dead_ranks}), not raised. *)
+
+val send_frame : net -> dst:int -> Wire.frame -> unit
+(** Encode, count ({!Spmd.Exec.stats} and {!Obs.Trace}) and send.
+    Raises {!Transport.Peer_down} when [dst] is unreachable. *)
+
+val snapshots : net -> (int * string) list
+(** [Snapshot] blobs gathered so far (rank 0's end-of-run collection). *)
+
+val stats_frames : net -> (int * (int * int * int * int)) list
+(** Gathered [(rank, (msgs, bytes, retries, injected))] wire stats. *)
+
+val byes : net -> int list
+(** Ranks that announced graceful completion. *)
+
+val dead_ranks : net -> int list
+(** Ranks whose connection closed {e before} a [Bye] — crashed peers. *)
+
+type engine
+
+val start_block :
+  net -> source:Ir.Program.t -> Interp.Run.context -> Spmd.Prog.block -> engine
+(** Allocate the block's replicated instances and intersection pairs,
+    seed the producer-side credit counters, and run the initialization
+    instructions (replayed locally — they are deterministic, so every
+    rank computes the same state). The block's shard count must equal
+    the transport size. *)
+
+val step : engine -> [ `Progress | `Blocked | `Done ]
+(** Execute (or block on) the current instruction, exactly one
+    {!Spmd.Exec} stepper step. Callers interleave {!pump} with blocked
+    steps; a step is [`Blocked] only while some needed frame has not
+    arrived. [`Done] once the finalize phase completed (scalars are
+    folded back into the context's environment at that point). *)
+
+val finished : engine -> bool
+
+val diag_shard : engine -> Resilience.Diag.shard
+(** This rank's row of a stall report: current instruction and what it
+    is waiting on (local channel counters, collective arrival counts). *)
+
+val diagnose : net -> reason:string -> engine list -> Resilience.Diag.t
+(** Assemble a structured deadlock/stall report from the given engines
+    (all ranks under loopback; just the local one in socket mode, where
+    remote state is unknowable — the reason string carries any
+    crashed-peer evidence from {!dead_ranks}). *)
+
+val run_rank : ?watchdog:float -> net -> Spmd.Prog.t -> Interp.Run.context -> unit
+(** Run the whole program on this rank, blocking: [Seq] items through
+    the sequential interpreter, each replicated block through an
+    {!engine} with {!pump} interleaved. [watchdog] (seconds, default
+    [30.]; [<= 0.] disables) bounds how long the rank may sit blocked
+    without receiving a frame before raising {!Spmd.Exec.Deadlock} with
+    this rank's diagnostics — in a distributed run a global blocked
+    state is not locally observable, so the watchdog is the detector.
+    {!Transport.Peer_down} is converted to the same structured report. *)

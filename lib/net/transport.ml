@@ -1,0 +1,397 @@
+exception Peer_down of int
+
+let () =
+  Printexc.register_printer (function
+    | Peer_down r -> Some (Printf.sprintf "Net.Transport.Peer_down(rank %d)" r)
+    | _ -> None)
+
+type stats = {
+  mutable msgs_sent : int;
+  mutable bytes_sent : int;
+  mutable msgs_recvd : int;
+  mutable retries : int;
+  mutable reconnects : int;
+}
+
+let fresh_stats () =
+  { msgs_sent = 0; bytes_sent = 0; msgs_recvd = 0; retries = 0; reconnects = 0 }
+
+type event = Msg of int * Bytes.t | Closed of int | Timeout
+
+type t = {
+  rank : int;
+  size : int;
+  stats : stats;
+  send_fn : int -> Bytes.t -> unit;
+  recv_fn : float -> event;
+  alive_fn : int -> bool;
+  close_fn : unit -> unit;
+}
+
+let rank t = t.rank
+let size t = t.size
+let stats t = t.stats
+let send t ~dst b = t.send_fn dst b
+let recv t ~timeout = t.recv_fn timeout
+let alive t r = t.alive_fn r
+let close t = t.close_fn ()
+
+(* Every send draws the Net_send site first; an injected transient failure
+   re-attempts (after [reconnect dst], a no-op except on the TCP connector
+   side) up to the policy cap. The draw advances per *attempt*, so a retry
+   faces a fresh decision — a transient fault schedule recovers, a
+   rate-1.0 schedule exhausts the cap and declares the peer down. *)
+let faulty ?fault ~rank ~stats ~reconnect raw_send dst bytes =
+  match fault with
+  | None -> raw_send dst bytes
+  | Some inj ->
+      let pol = Resilience.Fault.policy inj in
+      let rec attempt n =
+        if Resilience.Fault.draw inj (Resilience.Fault.Net_send dst) ~shard:rank
+        then begin
+          if n >= pol.Resilience.Fault.net_retries then raise (Peer_down dst);
+          stats.retries <- stats.retries + 1;
+          reconnect dst;
+          attempt (n + 1)
+        end
+        else raw_send dst bytes
+      in
+      attempt 0
+
+(* 4-byte length prefix; counted in [bytes_sent] on every transport so
+   loopback and socket byte totals are comparable. *)
+let prefix_bytes = 4
+
+(* ---------- loopback ---------- *)
+
+let loopback ?fault ~size () =
+  let queues = Array.init size (fun _ -> Queue.create ()) in
+  Array.init size (fun rank ->
+      let stats = fresh_stats () in
+      let raw_send dst bytes =
+        if dst < 0 || dst >= size then raise (Peer_down dst);
+        Queue.push (rank, Bytes.copy bytes) queues.(dst);
+        stats.msgs_sent <- stats.msgs_sent + 1;
+        stats.bytes_sent <- stats.bytes_sent + Bytes.length bytes + prefix_bytes
+      in
+      {
+        rank;
+        size;
+        stats;
+        send_fn =
+          faulty ?fault ~rank ~stats ~reconnect:(fun _ -> ()) raw_send;
+        recv_fn =
+          (fun _timeout ->
+            match Queue.take_opt queues.(rank) with
+            | Some (src, bytes) ->
+                stats.msgs_recvd <- stats.msgs_recvd + 1;
+                Msg (src, bytes)
+            | None -> Timeout);
+        alive_fn = (fun _ -> true);
+        close_fn = (fun () -> ());
+      })
+
+(* ---------- socket plumbing ---------- *)
+
+let really_write fd b =
+  let n = Bytes.length b in
+  let rec go off =
+    if off < n then
+      let w = Unix.write fd b off (n - off) in
+      go (off + w)
+  in
+  go 0
+
+let really_read fd n =
+  let b = Bytes.create n in
+  let rec go off =
+    if off < n then begin
+      let r = Unix.read fd b off (n - off) in
+      if r = 0 then raise End_of_file;
+      go (off + r)
+    end
+  in
+  go 0;
+  b
+
+let is_disconnect = function
+  | Unix.Unix_error
+      ((Unix.EPIPE | Unix.ECONNRESET | Unix.ECONNREFUSED | Unix.ENOTCONN), _, _)
+    ->
+      true
+  | _ -> false
+
+let frame_of bytes =
+  let n = Bytes.length bytes in
+  let out = Bytes.create (prefix_bytes + n) in
+  Bytes.set_int32_le out 0 (Int32.of_int n);
+  Bytes.blit bytes 0 out prefix_bytes n;
+  out
+
+let read_frame fd =
+  let len = Int32.to_int (Bytes.get_int32_le (really_read fd prefix_bytes) 0) in
+  if len < 0 || len > 1 lsl 30 then raise End_of_file;
+  really_read fd len
+
+(* ---------- meshes ---------- *)
+
+type mesh =
+  | Munix of { size : int; fds : Unix.file_descr array array }
+  | Mtcp of {
+      size : int;
+      listeners : Unix.file_descr array;
+      ports : int array;
+    }
+
+let mesh_size = function Munix { size; _ } -> size | Mtcp { size; _ } -> size
+
+let unix_mesh ~size =
+  let fds = Array.make_matrix size size Unix.stdin in
+  for i = 0 to size - 1 do
+    for j = i + 1 to size - 1 do
+      let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      fds.(i).(j) <- a;
+      fds.(j).(i) <- b
+    done
+  done;
+  Munix { size; fds }
+
+(* Ephemeral ports on the loopback interface: the parent binds every
+   listener before forking, so there is nothing to race or collide on;
+   children inherit the listening sockets and the port table. *)
+let tcp_mesh ~size =
+  let listeners =
+    Array.init size (fun _ ->
+        let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+        Unix.setsockopt fd Unix.SO_REUSEADDR true;
+        Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+        Unix.listen fd (size + 2);
+        fd)
+  in
+  let ports =
+    Array.map
+      (fun fd ->
+        match Unix.getsockname fd with
+        | Unix.ADDR_INET (_, port) -> port
+        | Unix.ADDR_UNIX _ -> assert false)
+      listeners
+  in
+  Mtcp { size; listeners; ports }
+
+let hello_of rank =
+  let b = Bytes.create 8 in
+  Bytes.set_int64_le b 0 (Int64.of_int rank);
+  b
+
+let dial ~rank port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port))
+   with e ->
+     Unix.close fd;
+     raise e);
+  really_write fd (hello_of rank);
+  fd
+
+let endpoint ?fault ?(on_send = fun () -> ()) mesh ~rank =
+  (* Writing to a dying peer must surface as EPIPE, not kill the
+     process. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  let size = mesh_size mesh in
+  if rank < 0 || rank >= size then
+    invalid_arg (Printf.sprintf "Net.Transport.endpoint: rank %d of %d" rank size);
+  let stats = fresh_stats () in
+  let peers : Unix.file_descr option array = Array.make size None in
+  let selfq : (int * Bytes.t) Queue.t = Queue.create () in
+  let listener, redial =
+    match mesh with
+    | Munix { fds; _ } ->
+        (* Keep this rank's row; close every fd belonging to other
+           ranks (their row entries are their processes' copies). *)
+        for i = 0 to size - 1 do
+          for j = 0 to size - 1 do
+            if i <> j then
+              if i = rank then peers.(j) <- Some fds.(i).(j)
+              else Unix.close fds.(i).(j)
+          done
+        done;
+        (None, fun _ -> ())
+    | Mtcp { listeners; ports; _ } ->
+        Array.iteri
+          (fun r fd -> if r <> rank then Unix.close fd)
+          listeners;
+        let listener = listeners.(rank) in
+        let accept_one () =
+          let fd, _ = Unix.accept listener in
+          let hello = really_read fd 8 in
+          let r = Int64.to_int (Bytes.get_int64_le hello 0) in
+          if r < 0 || r >= size then (Unix.close fd; raise End_of_file);
+          (match peers.(r) with
+          | Some old ->
+              (try Unix.close old with Unix.Unix_error _ -> ());
+              stats.reconnects <- stats.reconnects + 1
+          | None -> ());
+          peers.(r) <- Some fd
+        in
+        (* Rendezvous: connect downward, accept from above. Connects
+           complete against the peers' listen backlogs, so the order
+           cannot deadlock. *)
+        for q = 0 to rank - 1 do
+          peers.(q) <- Some (dial ~rank ports.(q))
+        done;
+        for _ = rank + 1 to size - 1 do
+          accept_one ()
+        done;
+        let redial dst =
+          if dst < rank then begin
+            (match peers.(dst) with
+            | Some old -> (
+                try Unix.close old with Unix.Unix_error _ -> ())
+            | None -> ());
+            match dial ~rank ports.(dst) with
+            | fd ->
+                peers.(dst) <- Some fd;
+                stats.reconnects <- stats.reconnects + 1
+            | exception e when is_disconnect e -> peers.(dst) <- None
+          end
+          (* Acceptor side: the peer re-dials us; the listener stays in
+             the receive set, so the replacement lands on the next
+             [recv]. *)
+        in
+        (Some listener, redial)
+  in
+  let accept_replacement () =
+    match (mesh, listener) with
+    | Mtcp _, Some l -> (
+        match Unix.accept l with
+        | fd, _ -> (
+            match really_read fd 8 with
+            | hello ->
+                let r = Int64.to_int (Bytes.get_int64_le hello 0) in
+                if r < 0 || r >= size then Unix.close fd
+                else begin
+                  (match peers.(r) with
+                  | Some old -> (
+                      try Unix.close old with Unix.Unix_error _ -> ())
+                  | None -> ());
+                  peers.(r) <- Some fd;
+                  stats.reconnects <- stats.reconnects + 1
+                end
+            | exception (End_of_file | Unix.Unix_error _) -> Unix.close fd)
+        | exception Unix.Unix_error _ -> ())
+    | _ -> ()
+  in
+  let raw_send dst bytes =
+    if dst = rank then begin
+      Queue.push (rank, Bytes.copy bytes) selfq;
+      stats.msgs_sent <- stats.msgs_sent + 1;
+      stats.bytes_sent <- stats.bytes_sent + Bytes.length bytes + prefix_bytes
+    end
+    else begin
+      on_send ();
+      match peers.(dst) with
+      | None -> raise (Peer_down dst)
+      | Some fd -> (
+          match really_write fd (frame_of bytes) with
+          | () ->
+              stats.msgs_sent <- stats.msgs_sent + 1;
+              stats.bytes_sent <-
+                stats.bytes_sent + Bytes.length bytes + prefix_bytes
+          | exception e when is_disconnect e ->
+              (try Unix.close fd with Unix.Unix_error _ -> ());
+              peers.(dst) <- None;
+              (* One genuine reconnect attempt before giving up. *)
+              redial dst;
+              (match peers.(dst) with
+              | None -> raise (Peer_down dst)
+              | Some fd2 -> (
+                  match really_write fd2 (frame_of bytes) with
+                  | () ->
+                      stats.msgs_sent <- stats.msgs_sent + 1;
+                      stats.bytes_sent <-
+                        stats.bytes_sent + Bytes.length bytes + prefix_bytes
+                  | exception e2 when is_disconnect e2 ->
+                      (try Unix.close fd2 with Unix.Unix_error _ -> ());
+                      peers.(dst) <- None;
+                      raise (Peer_down dst))))
+    end
+  in
+  let reconnect dst =
+    (* Injected transient failure: on the TCP connector side, exercise
+       the real close-and-redial path; elsewhere the retry just
+       re-attempts the write. *)
+    match mesh with Mtcp _ -> redial dst | Munix _ -> ()
+  in
+  let rec recv_fn timeout =
+    match Queue.take_opt selfq with
+    | Some (src, bytes) ->
+        stats.msgs_recvd <- stats.msgs_recvd + 1;
+        Msg (src, bytes)
+    | None -> (
+        let watched =
+          List.concat
+            [
+              (match listener with Some l -> [ l ] | None -> []);
+              List.filter_map Fun.id
+                (List.init size (fun r -> peers.(r)));
+            ]
+        in
+        if watched = [] then Timeout
+        else
+          match Unix.select watched [] [] timeout with
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> Timeout
+          | [], _, _ -> Timeout
+          | ready, _, _ -> (
+              match listener with
+              | Some l when List.memq l ready ->
+                  accept_replacement ();
+                  recv_fn 0.
+              | _ -> (
+                  (* Lowest ready rank first: deterministic service order
+                     given identical readiness. *)
+                  let src =
+                    let rec find r =
+                      if r >= size then None
+                      else
+                        match peers.(r) with
+                        | Some fd when List.memq fd ready -> Some (r, fd)
+                        | _ -> find (r + 1)
+                    in
+                    find 0
+                  in
+                  match src with
+                  | None -> Timeout
+                  | Some (r, fd) -> (
+                      match read_frame fd with
+                      | bytes ->
+                          stats.msgs_recvd <- stats.msgs_recvd + 1;
+                          Msg (r, bytes)
+                      | exception
+                          ( End_of_file
+                          | Unix.Unix_error
+                              ((Unix.ECONNRESET | Unix.EPIPE), _, _) ) ->
+                          (try Unix.close fd with Unix.Unix_error _ -> ());
+                          peers.(r) <- None;
+                          Closed r))))
+  in
+  {
+    rank;
+    size;
+    stats;
+    send_fn = faulty ?fault ~rank ~stats ~reconnect raw_send;
+    recv_fn;
+    alive_fn = (fun r -> r = rank || peers.(r) <> None);
+    close_fn =
+      (fun () ->
+        Array.iteri
+          (fun r fd ->
+            match fd with
+            | Some fd ->
+                (try Unix.close fd with Unix.Unix_error _ -> ());
+                peers.(r) <- None
+            | None -> ())
+          (Array.copy peers);
+        match listener with
+        | Some l -> ( try Unix.close l with Unix.Unix_error _ -> ())
+        | None -> ());
+  }

@@ -1,0 +1,90 @@
+(** Point-to-point transports for the distributed backend.
+
+    A transport connects [size] ranks with ordered, reliable byte-frame
+    delivery (each {!send} is one length-prefixed frame, received whole).
+    Three implementations:
+
+    - {!loopback}: an in-process hub of FIFO queues. Fully deterministic
+      under the cooperative loopback driver — the tests' and sanitizer's
+      reference — and API-identical to the real transports.
+    - {!unix_mesh}: a pre-fork full mesh of Unix-domain socketpairs; the
+      parent creates every pair, each forked process keeps its own row.
+    - {!tcp_mesh}: TCP over the loopback interface on ephemeral ports.
+      Rank [r] accepts from higher ranks and connects to lower ones; the
+      listener stays in the receive set for the whole run, so a dropped
+      connection can be re-established mid-run (see [?fault]).
+
+    With [?fault], every send first draws the
+    {!Resilience.Fault.Net_send} site; an injected transient failure is
+    retried up to [policy.net_retries] times — on the TCP connector side
+    each retry closes and re-dials the connection, exercising the real
+    reconnect path. Exhausted retries, a broken pipe, or a reset raise
+    {!Peer_down}.
+
+    Graceful peer shutdown surfaces as {!Closed} from {!recv} (EOF after
+    the kernel buffer drains), never an exception: whether the close was
+    expected is a protocol-level question (did the peer say goodbye
+    first?) that the engine answers, not the transport. *)
+
+exception Peer_down of int
+(** The given rank is unreachable: send retries exhausted, connection
+    reset, or re-dial refused. *)
+
+type stats = {
+  mutable msgs_sent : int;
+  mutable bytes_sent : int;  (** length prefixes included *)
+  mutable msgs_recvd : int;
+  mutable retries : int;  (** injected-fault resends *)
+  mutable reconnects : int;  (** TCP re-dials and re-accepts *)
+}
+
+val prefix_bytes : int
+(** Per-frame length-prefix overhead, counted in [bytes_sent] on every
+    transport (loopback included) so byte totals are comparable. *)
+
+type event =
+  | Msg of int * Bytes.t  (** one frame from the given rank *)
+  | Closed of int  (** the given rank closed its connection (EOF) *)
+  | Timeout
+
+type t
+
+val rank : t -> int
+val size : t -> int
+val stats : t -> stats
+
+val send : t -> dst:int -> Bytes.t -> unit
+(** Send one frame ([dst] may be the sender itself — delivered through a
+    local queue). Raises {!Peer_down} when [dst] is unreachable. *)
+
+val recv : t -> timeout:float -> event
+(** Wait up to [timeout] seconds for one event. [~timeout:0.] polls.
+    When several peers are ready the lowest rank is served first, and a
+    frame from a peer is delivered before its EOF. *)
+
+val alive : t -> int -> bool
+(** Whether an open connection to the given rank exists right now
+    (always [true] on loopback and for [rank t] itself). *)
+
+val close : t -> unit
+
+val loopback : ?fault:Resilience.Fault.t -> size:int -> unit -> t array
+(** All [size] endpoints of an in-process hub. Not thread-safe: made for
+    the cooperative loopback driver, which steps engines one at a
+    time. *)
+
+(** A pre-fork mesh: created once in the launcher parent, then each
+    process (parent included) claims its endpoint, which closes every
+    file descriptor belonging to other ranks. Claim at most one rank per
+    process. *)
+type mesh
+
+val mesh_size : mesh -> int
+
+val unix_mesh : size:int -> mesh
+val tcp_mesh : size:int -> mesh
+
+val endpoint :
+  ?fault:Resilience.Fault.t -> ?on_send:(unit -> unit) -> mesh -> rank:int -> t
+(** [on_send] runs before every physical send (fault-injection hooks,
+    e.g. the launcher's kill-shard switch). *)

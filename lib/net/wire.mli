@@ -1,0 +1,69 @@
+(** The wire protocol of the distributed backend.
+
+    Every message between shard processes is one self-describing frame:
+    a version byte, a kind tag, then fixed-width little-endian fields
+    (ints as 64-bit, floats as their IEEE-754 bit patterns — the bitwise
+    determinism guarantee extends onto the wire). The transport layer
+    adds a 4-byte length prefix per frame; this module only encodes and
+    decodes the frame body.
+
+    Data-plane frames serialize region fragments straight out of
+    {!Spmd.Copy_plan}: the producer gathers its planned source runs into
+    a field-major payload and ships it with the plan's
+    {e destination-relative} [(offset, len)] runs, so the receiver
+    scatters into its own instance without rebuilding the plan — both
+    sides derive instance layouts from the same (deterministic) index
+    spaces, so destination offsets computed by the sender are valid in
+    the receiver's address space. *)
+
+(** One frame. [Data] is a body-phase copy fragment (synchronised by
+    credits), [Credit] a write-after-read grant, [Coll] one hop of a
+    tree collective, [Final] a finalize-phase fragment broadcast to all
+    ranks, and [Snapshot]/[Stats]/[Bye] the end-of-run gather at
+    rank 0. *)
+type frame =
+  | Data of {
+      copy_id : int;
+      epoch : int;  (** per (copy_id, src, dst) send counter, from 0 *)
+      src_color : int;
+      dst_color : int;
+      fields : string list;  (** field names, validation only *)
+      runs : (int * int) array;  (** destination (offset, len) runs *)
+      payload : float array;  (** field-major, [volume] floats a field *)
+    }
+  | Credit of { copy_id : int; src_color : int; dst_color : int }
+  | Coll of {
+      seq : int;  (** global collective sequence number *)
+      dir : [ `Up | `Down ];
+      values : (int * float) array;
+          (** [`Up]: (color, partial) contributions; [`Down]: a single
+              [(0, result)] pair, or empty for a barrier *)
+    }
+  | Final of {
+      copy_id : int;
+      src_color : int;
+      dst_color : int;  (** [-1] when the destination is the root *)
+      fields : string list;
+      runs : (int * int) array;
+      payload : float array;
+    }
+  | Snapshot of { rank : int; blob : string }
+      (** marshalled final state, for the rank-0 consistency check *)
+  | Stats of {
+      rank : int;
+      msgs : int;
+      bytes : int;
+      retries : int;
+      injected : int;
+    }
+  | Bye of { rank : int }
+
+exception Malformed of string
+(** Raised by {!decode} on a version mismatch, unknown tag, truncated
+    body or trailing bytes. *)
+
+val encode : frame -> Bytes.t
+val decode : Bytes.t -> frame
+
+val kind : frame -> string
+(** Short label for traces and diagnostics ("data", "credit", ...). *)

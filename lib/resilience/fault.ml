@@ -2,11 +2,13 @@ type site =
   | Leaf_task of string
   | Release_delay of int
   | Shard_stall
+  | Net_send of int
 
 let site_to_string = function
   | Leaf_task t -> Printf.sprintf "leaf-task(%s)" t
   | Release_delay id -> Printf.sprintf "release-delay(copy#%d)" id
   | Shard_stall -> "shard-stall"
+  | Net_send dst -> Printf.sprintf "net-send(->%d)" dst
 
 exception Injected of { site : site; shard : int; occurrence : int }
 
@@ -25,6 +27,8 @@ type policy = {
   release_delay_steps : int;
   stall_rate : float;
   stall_steps : int;
+  net_fail_rate : float;
+  net_retries : int;
   delay_seconds : float;
   max_faults : int;
 }
@@ -37,6 +41,8 @@ let default_policy =
     release_delay_steps = 3;
     stall_rate = 0.02;
     stall_steps = 4;
+    net_fail_rate = 0.02;
+    net_retries = 5;
     delay_seconds = 0.001;
     max_faults = 1000;
   }
@@ -47,6 +53,7 @@ let no_faults =
     leaf_fail_rate = 0.;
     release_delay_rate = 0.;
     stall_rate = 0.;
+    net_fail_rate = 0.;
   }
 
 type t = {
@@ -79,10 +86,13 @@ let splitmix64 x =
   let x = mul (logxor x (shift_right_logical x 27)) 0x94D049BB133111EBL in
   logxor x (shift_right_logical x 31)
 
+(* Tags 1..4 are distinct mod 4, so shifting the payload by 2 keeps the
+   codes collision-free and leaves pre-existing sites' schedules stable. *)
 let site_code = function
   | Leaf_task name -> 1 + (Hashtbl.hash name lsl 2)
   | Release_delay id -> 2 + (id lsl 2)
   | Shard_stall -> 3
+  | Net_send dst -> 4 + (dst lsl 2)
 
 (* Uniform draw in [0,1) from (seed, site, shard, occurrence). *)
 let u01 ~seed ~site ~shard ~occurrence =
@@ -98,6 +108,7 @@ let rate_of t = function
   | Leaf_task _ -> t.pol.leaf_fail_rate
   | Release_delay _ -> t.pol.release_delay_rate
   | Shard_stall -> t.pol.stall_rate
+  | Net_send _ -> t.pol.net_fail_rate
 
 let draw t site ~shard =
   let rate = rate_of t site in

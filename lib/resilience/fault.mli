@@ -20,12 +20,16 @@
       credit — the producer of the next copy stalls on the channel.
     - {!Shard_stall}: a whole shard pauses between instructions (a slow
       node). Exercises the stall watchdog's ability to tell a slow shard
-      from a deadlocked one. *)
+      from a deadlocked one.
+    - {!Net_send}: a transport send to the given destination rank fails
+      transiently; the sender retries (reconnecting on stream
+      transports) up to the policy cap before declaring the peer down. *)
 
 type site =
   | Leaf_task of string  (** task name *)
   | Release_delay of int  (** copy_id whose Release is delayed *)
   | Shard_stall
+  | Net_send of int  (** destination rank of the failed send *)
 
 val site_to_string : site -> string
 
@@ -38,6 +42,8 @@ type policy = {
   release_delay_steps : int;  (** stepper: blocked scheduler attempts *)
   stall_rate : float;
   stall_steps : int;  (** stepper: blocked scheduler attempts *)
+  net_fail_rate : float;  (** probability a transport send fails *)
+  net_retries : int;  (** resend/reconnect cap per message *)
   delay_seconds : float;  (** domains: sleep per injected delay/stall *)
   max_faults : int;  (** total injection cap (safety valve) *)
 }

@@ -98,3 +98,20 @@ let reduce t ~op ~src ~dst =
 
 let execute t ~reduce:red ~src ~dst =
   match red with None -> copy t ~src ~dst | Some op -> reduce t ~op ~src ~dst
+
+let dst_runs t =
+  Array.init (Array.length t.len) (fun r -> (t.dst_off.(r), t.len.(r)))
+
+let gather t ~src =
+  let nf = List.length t.fields in
+  let out = Array.make (nf * t.volume) 0. in
+  List.iteri
+    (fun fi f ->
+      let col = Physical.column src f in
+      let pos = ref (fi * t.volume) in
+      for r = 0 to Array.length t.len - 1 do
+        Array.blit col t.src_off.(r) out !pos t.len.(r);
+        pos := !pos + t.len.(r)
+      done)
+    t.fields;
+  out

@@ -49,3 +49,14 @@ val nruns : t -> int
 (** Number of contiguous runs in the plan. *)
 
 val fields : t -> Field.t list
+
+val dst_runs : t -> (int * int) array
+(** The plan's [(dst_off, len)] runs — destination-relative addressing
+    for a receiver that holds the destination instance but not the plan
+    (the wire protocol ships these alongside the payload). *)
+
+val gather : t -> src:Physical.t -> float array
+(** Serialize the planned source runs into a fresh field-major payload:
+    [fields] in plan order, each contributing [volume] floats in run
+    order. Together with {!dst_runs} this is the wire image of one copy
+    fragment. *)

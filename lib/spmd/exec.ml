@@ -24,6 +24,8 @@ type stats = {
   plan_builds : int Atomic.t;
   plan_replays : int Atomic.t;
   blit_volume : int Atomic.t;
+  msgs_sent : int Atomic.t;
+  bytes_on_wire : int Atomic.t;
 }
 
 (* Without a registry the counters are plain private atomics; with one they
@@ -43,6 +45,8 @@ let fresh_stats ?registry () =
         plan_builds = Atomic.make 0;
         plan_replays = Atomic.make 0;
         blit_volume = Atomic.make 0;
+        msgs_sent = Atomic.make 0;
+        bytes_on_wire = Atomic.make 0;
       }
   | Some reg ->
       let isect = Intersections.fresh_stats () in
@@ -66,6 +70,8 @@ let fresh_stats ?registry () =
         plan_builds = cell "exec.plan.builds";
         plan_replays = cell "exec.plan.replays";
         blit_volume = cell "exec.plan.blit_volume";
+        msgs_sent = cell "exec.net.msgs_sent";
+        bytes_on_wire = cell "exec.net.bytes_on_wire";
       }
 
 (* ---------- per-block runtime state ---------- *)

@@ -49,18 +49,35 @@ type stats = {
   plan_replays : int Atomic.t;  (** plan executions (incl. first) *)
   blit_volume : int Atomic.t;
       (** elements moved through plan replays, summed over fields *)
+  msgs_sent : int Atomic.t;
+      (** wire frames sent by the net backend (zero for shared memory) *)
+  bytes_on_wire : int Atomic.t;
+      (** encoded frame bytes sent by the net backend, length prefixes
+          included *)
 }
 
 val fresh_stats : ?registry:Obs.Metrics.t -> unit -> stats
 (** With [registry], the counter fields alias registry counters
-    ([exec.attempts], [exec.retries], [exec.injected], [exec.checkpoints])
-    and the intersection timings surface as [exec.isect.*] gauge views —
-    the record is then a compatibility view over the registry, and both
-    read the same numbers. *)
+    ([exec.attempts], [exec.retries], [exec.injected], [exec.checkpoints],
+    [exec.net.msgs_sent], [exec.net.bytes_on_wire]) and the intersection
+    timings surface as [exec.isect.*] gauge views — the record is then a
+    compatibility view over the registry, and both read the same
+    numbers. *)
 
 val shard_tid : int -> int
 (** Trace tid of a shard's per-shard track (tids 0..9 are reserved for
     driver and compile-pipeline spans). *)
+
+val partitions_used : Ir.Program.t -> Prog.block -> (string * Regions.Partition.t) list
+(** Partitions mentioned anywhere in a block (launches, copies, fills)
+    — the set that needs per-(partition, color) instances (§3.1).
+    Exposed for alternative backends (lib/net) so they allocate exactly
+    the instances this executor would. *)
+
+val fields_used_of_partition :
+  Ir.Program.t -> Prog.block -> string -> Regions.Field.t list
+(** Union of fields the block touches on the named partition — the
+    instance width companion to {!partitions_used}. *)
 
 val instr_label : Prog.instr -> string
 (** Deterministic span label for an instruction — a function of the

@@ -219,6 +219,8 @@ let chaos_policy =
     release_delay_steps = 2;
     stall_rate = 0.05;
     stall_steps = 2;
+    net_fail_rate = 0.;
+    net_retries = 0;
     delay_seconds = 0.0005;
     max_faults = 1_000_000;
   }

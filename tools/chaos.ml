@@ -38,6 +38,8 @@ let mk_policy ~leaf ~delays =
     release_delay_steps = 2;
     stall_rate = (if delays then 0.05 else 0.);
     stall_steps = 2;
+    net_fail_rate = 0.;
+    net_retries = 0;
     delay_seconds = 0.0005;
     max_faults = 1_000_000;
   }
